@@ -1,0 +1,89 @@
+// Fig. 2 — "Speedup graph with varying numbers of homogeneous processors
+// for the distributed Monte Carlo simulation".
+//
+// Regenerates the speedup/efficiency series on the simulated homogeneous
+// Pentium-IV fleet (see DESIGN.md §1 for why the cluster is simulated).
+// The paper reports near-linear speedup with >= 97% efficiency at 60
+// processors; this bench prints the series and an ASCII speedup plot.
+//
+// Flags: --photons N (default 1e9), --chunk N (1e6), --max-procs K (60)
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "cluster/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phodis;
+  const util::CliArgs args(argc, argv);
+  const auto photons =
+      static_cast<std::uint64_t>(args.get_int("photons", 1'000'000'000));
+  const auto chunk =
+      static_cast<std::uint64_t>(args.get_int("chunk", 1'000'000));
+  const auto max_procs =
+      static_cast<std::size_t>(args.get_int("max-procs", 60));
+
+  std::cout << "=== Fig. 2: speedup vs number of homogeneous processors ===\n"
+            << "workload: " << photons << " photons, chunks of " << chunk
+            << ", P4-class nodes (200 Mflop/s), semi-idle (90-100% "
+               "available)\n\n";
+
+  cluster::ClusterConfig base;
+  base.fleet = cluster::homogeneous_p4_fleet(1);
+  base.total_photons = photons;
+  base.chunk_photons = chunk;
+  base.load.min_availability = 0.9;  // "semi-idle PCs"
+  base.load.max_availability = 1.0;
+
+  std::vector<std::size_t> counts;
+  for (std::size_t k = 1; k <= max_procs; k += (k < 10 ? 1 : 5)) {
+    counts.push_back(k);
+  }
+  if (counts.back() != max_procs) counts.push_back(max_procs);
+
+  const auto series = cluster::speedup_series(base, max_procs, counts);
+
+  util::TextTable table(
+      {"processors", "makespan (s)", "speedup", "efficiency"});
+  util::CsvWriter csv("fig2_speedup.csv");
+  csv.header({"processors", "makespan_s", "speedup", "efficiency"});
+  for (const auto& point : series) {
+    table.add_row({std::to_string(point.processors),
+                   util::format_double(point.makespan_s, 6),
+                   util::format_double(point.speedup, 4),
+                   util::format_double(point.efficiency, 4)});
+    csv.row({static_cast<double>(point.processors), point.makespan_s,
+             point.speedup, point.efficiency});
+  }
+  table.print(std::cout);
+
+  // ASCII speedup plot (x: processors, y: speedup), ideal line shown as '.'.
+  std::cout << "\nspeedup plot ('*' measured, '.' ideal):\n";
+  const int plot_rows = 20;
+  const double y_max = static_cast<double>(max_procs);
+  for (int row = plot_rows; row >= 0; --row) {
+    const double y = y_max * row / plot_rows;
+    std::string line(counts.size() * 2 + 2, ' ');
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const double ideal = static_cast<double>(series[i].processors);
+      if (std::abs(ideal - y) <= y_max / (2.0 * plot_rows)) {
+        line[2 + i * 2] = '.';
+      }
+      if (std::abs(series[i].speedup - y) <= y_max / (2.0 * plot_rows)) {
+        line[2 + i * 2] = '*';
+      }
+    }
+    std::cout << line << "\n";
+  }
+
+  const auto& last = series.back();
+  std::cout << "\nefficiency at " << last.processors
+            << " processors: " << last.efficiency * 100.0
+            << " %  (paper: ~97 % at 60)\n"
+            << "series written to fig2_speedup.csv\n";
+  return (last.efficiency > 0.90 && last.efficiency <= 1.0) ? 0 : 1;
+}

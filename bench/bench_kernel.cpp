@@ -1,0 +1,146 @@
+// Microbenchmarks of the kernel stages (google-benchmark): the per-stage
+// costs behind the flops-per-photon parameter the cluster simulator uses.
+#include <benchmark/benchmark.h>
+
+#include "core/spec.hpp"
+#include "mc/fresnel.hpp"
+#include "mc/kernel.hpp"
+#include "mc/presets.hpp"
+#include "mc/scatter.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace phodis;
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Xoshiro256pp rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngNormal(benchmark::State& state) {
+  util::Xoshiro256pp rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_HgSample(benchmark::State& state) {
+  util::Xoshiro256pp rng(3);
+  const double g = state.range(0) / 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc::sample_hg_cosine(g, rng));
+  }
+}
+BENCHMARK(BM_HgSample)->Arg(0)->Arg(75)->Arg(90);
+
+void BM_ScatterDirection(benchmark::State& state) {
+  util::Xoshiro256pp rng(4);
+  util::Vec3 dir{0.0, 0.0, 1.0};
+  for (auto _ : state) {
+    dir = mc::scatter_direction(dir, 0.9, rng);
+    benchmark::DoNotOptimize(dir);
+  }
+}
+BENCHMARK(BM_ScatterDirection);
+
+void BM_Fresnel(benchmark::State& state) {
+  double cos_i = 0.0;
+  for (auto _ : state) {
+    cos_i += 0.001;
+    if (cos_i > 1.0) cos_i = 0.001;
+    benchmark::DoNotOptimize(mc::fresnel(1.4, 1.0, cos_i));
+  }
+}
+BENCHMARK(BM_Fresnel);
+
+/// Full photon histories per second in the white-matter medium of Fig. 3.
+void BM_PhotonWhiteMatter(benchmark::State& state) {
+  mc::KernelConfig config;
+  config.medium = mc::homogeneous_white_matter();
+  const mc::Kernel kernel(config);
+  mc::SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(5);
+  for (auto _ : state) {
+    kernel.run(1, rng, tally);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhotonWhiteMatter);
+
+/// Full photon histories per second in the layered head model of Fig. 4.
+void BM_PhotonHeadModel(benchmark::State& state) {
+  mc::KernelConfig config;
+  config.medium = mc::adult_head_model();
+  const mc::Kernel kernel(config);
+  mc::SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(6);
+  for (auto _ : state) {
+    kernel.run(1, rng, tally);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhotonHeadModel);
+
+void BM_GridDeposit(benchmark::State& state) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(50, 25.0, 50.0));
+  util::Xoshiro256pp rng(7);
+  for (auto _ : state) {
+    grid.deposit({rng.uniform(-25, 25), rng.uniform(-25, 25),
+                  rng.uniform(0, 50)},
+                 1.0);
+  }
+  benchmark::DoNotOptimize(grid.total());
+}
+BENCHMARK(BM_GridDeposit);
+
+void BM_TallySerialize(benchmark::State& state) {
+  mc::TallyConfig config;
+  config.layer_count = 5;
+  config.enable_path_grid = true;
+  config.path_spec = mc::GridSpec::cube(50, 25.0, 50.0);
+  mc::SimulationTally tally(config);
+  for (auto _ : state) {
+    util::ByteWriter writer;
+    tally.serialize(writer);
+    benchmark::DoNotOptimize(writer.size());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(50 * 50 * 50 * sizeof(double)));
+}
+BENCHMARK(BM_TallySerialize);
+
+void BM_TallyMerge(benchmark::State& state) {
+  mc::TallyConfig config;
+  config.layer_count = 5;
+  config.enable_path_grid = true;
+  config.path_spec = mc::GridSpec::cube(50, 25.0, 50.0);
+  mc::SimulationTally a(config);
+  const mc::SimulationTally b(config);
+  for (auto _ : state) {
+    a.merge(b);
+  }
+}
+BENCHMARK(BM_TallyMerge);
+
+void BM_SpecRoundTrip(benchmark::State& state) {
+  core::SimulationSpec spec;
+  spec.kernel.medium = mc::adult_head_model();
+  spec.photons = 1;
+  for (auto _ : state) {
+    util::ByteWriter writer;
+    spec.serialize(writer);
+    util::ByteReader reader(writer.bytes());
+    benchmark::DoNotOptimize(core::SimulationSpec::deserialize(reader));
+  }
+}
+BENCHMARK(BM_SpecRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Optode-spacing study — the relationship the paper's introduction calls
+// "an important factor for optode geometry and positioning": how the
+// interrogated depth and the differential pathlength grow with
+// source-detector spacing.
+//
+// Uses a diffusive test medium so that every spacing yields detections at
+// a laptop photon budget, and compares the Monte Carlo answers with
+// diffusion theory at each spacing.
+//
+// Run: ./optode_spacing_study [--photons 150000] [--mua 0.01] [--musp 1.0]
+#include <iostream>
+
+#include "analysis/banana.hpp"
+#include "analysis/diffusion.hpp"
+#include "core/app.hpp"
+#include "core/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phodis;
+  const util::CliArgs args(argc, argv);
+  const auto photons =
+      static_cast<std::uint64_t>(args.get_int("photons", 150'000));
+  const double mua = args.get_double("mua", 0.01);
+  const double musp = args.get_double("musp", 1.0);
+
+  const mc::OpticalProperties props =
+      mc::OpticalProperties::from_reduced(mua, musp, 0.9, 1.0);
+
+  std::cout << "Optode spacing study: mua=" << mua << "/mm, mus'=" << musp
+            << "/mm, " << photons << " photons per spacing\n\n";
+
+  util::TextTable table({"spacing (mm)", "detected", "mean path (mm)",
+                         "DPF (MC)", "DPF (diffusion)",
+                         "banana mid depth (mm)"});
+  util::CsvWriter csv("optode_spacing.csv");
+  csv.header({"spacing_mm", "detections", "mean_path_mm", "dpf_mc",
+              "dpf_theory", "mid_depth_mm"});
+
+  for (const double spacing : {5.0, 10.0, 15.0, 20.0, 25.0}) {
+    core::SimulationSpec spec = core::fig3_banana_spec(
+        photons, 40, spacing, static_cast<std::uint64_t>(spacing));
+    mc::LayeredMediumBuilder builder;
+    builder.add_semi_infinite_layer("tissue", props);
+    spec.kernel.medium = builder.build();
+
+    core::MonteCarloApp app(spec);
+    const mc::SimulationTally tally = app.run_serial();
+    const double dpf_mc =
+        tally.photons_detected()
+            ? tally.mean_detected_pathlength() / spacing
+            : 0.0;
+    const double dpf_theory =
+        analysis::differential_pathlength_factor(props, spacing);
+    double mid_depth = 0.0;
+    if (tally.photons_detected() > 0) {
+      const analysis::BananaMetrics metrics =
+          analysis::banana_metrics(*tally.path_grid(), spacing);
+      mid_depth = metrics.midpoint_mean_depth_mm;
+    }
+    table.add_row({util::format_double(spacing, 4),
+                   std::to_string(tally.photons_detected()),
+                   util::format_double(tally.mean_detected_pathlength(), 5),
+                   util::format_double(dpf_mc, 4),
+                   util::format_double(dpf_theory, 4),
+                   util::format_double(mid_depth, 4)});
+    csv.row({spacing, static_cast<double>(tally.photons_detected()),
+             tally.mean_detected_pathlength(), dpf_mc, dpf_theory,
+             mid_depth});
+  }
+  table.print(std::cout);
+  std::cout << "\n(wider optode spacing probes deeper and stretches the "
+               "differential pathlength — the paper's Sect. 1/2 "
+               "discussion)\nwritten to optode_spacing.csv\n";
+  return 0;
+}

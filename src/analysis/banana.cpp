@@ -1,0 +1,137 @@
+#include "analysis/banana.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phodis::analysis {
+
+BananaMetrics banana_metrics(const mc::VoxelGrid3D& grid,
+                             double detector_x_mm) {
+  const mc::GridSpec& spec = grid.spec();
+  const double dx = (spec.x_max - spec.x_min) / static_cast<double>(spec.nx);
+  const double dz = (spec.z_max - spec.z_min) / static_cast<double>(spec.nz);
+
+  BananaMetrics metrics;
+  metrics.source_x_mm = 0.0;
+  metrics.detector_x_mm = detector_x_mm;
+  metrics.profile.reserve(spec.nx);
+
+  double grand_total = 0.0;
+  double between_total = 0.0;
+
+  for (std::size_t ix = 0; ix < spec.nx; ++ix) {
+    DepthProfilePoint point;
+    point.x_mm = spec.x_min + (static_cast<double>(ix) + 0.5) * dx;
+
+    double sum_w = 0.0;
+    double sum_wz = 0.0;
+    double best_row = 0.0;
+    std::size_t best_iz = 0;
+    for (std::size_t iz = 0; iz < spec.nz; ++iz) {
+      double row = 0.0;
+      for (std::size_t iy = 0; iy < spec.ny; ++iy) {
+        row += grid.at(ix, iy, iz);
+      }
+      const double z =
+          spec.z_min + (static_cast<double>(iz) + 0.5) * dz;
+      sum_w += row;
+      sum_wz += row * z;
+      if (row > best_row) {
+        best_row = row;
+        best_iz = iz;
+      }
+    }
+    point.total_visits = sum_w;
+    point.mean_depth_mm = sum_w > 0.0 ? sum_wz / sum_w : 0.0;
+    point.mode_depth_mm =
+        spec.z_min + (static_cast<double>(best_iz) + 0.5) * dz;
+    grand_total += sum_w;
+    if (point.x_mm >= 0.0 && point.x_mm <= detector_x_mm) {
+      between_total += sum_w;
+    }
+    metrics.profile.push_back(point);
+  }
+
+  metrics.between_fraction =
+      grand_total > 0.0 ? between_total / grand_total : 0.0;
+
+  // Column nearest a given x.
+  auto column_at = [&](double x) -> const DepthProfilePoint& {
+    std::size_t best = 0;
+    double best_dist = std::abs(metrics.profile[0].x_mm - x);
+    for (std::size_t i = 1; i < metrics.profile.size(); ++i) {
+      const double dist = std::abs(metrics.profile[i].x_mm - x);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    return metrics.profile[best];
+  };
+
+  const double mid_x = 0.5 * detector_x_mm;
+  metrics.midpoint_mean_depth_mm = column_at(mid_x).mean_depth_mm;
+  metrics.endpoint_mean_depth_mm = 0.5 * (column_at(0.0).mean_depth_mm +
+                                          column_at(detector_x_mm).mean_depth_mm);
+
+  // Left/right visit symmetry about the midpoint, over the optode span.
+  double left = 0.0;
+  double right = 0.0;
+  for (const DepthProfilePoint& point : metrics.profile) {
+    if (point.x_mm < 0.0 || point.x_mm > detector_x_mm) continue;
+    if (point.x_mm < mid_x) {
+      left += point.total_visits;
+    } else {
+      right += point.total_visits;
+    }
+  }
+  const double span_total = left + right;
+  metrics.asymmetry =
+      span_total > 0.0 ? std::abs(left - right) / span_total : 0.0;
+  return metrics;
+}
+
+double threshold_grid(mc::VoxelGrid3D& grid, double fraction_of_max) {
+  const double cutoff = grid.max_value() * fraction_of_max;
+  const double before = grid.total();
+  double kept = 0.0;
+  for (double& v : grid.mutable_data()) {
+    if (v < cutoff) {
+      v = 0.0;
+    } else {
+      kept += v;
+    }
+  }
+  return before > 0.0 ? kept / before : 0.0;
+}
+
+std::vector<BeamSpreadPoint> beam_spread_by_depth(
+    const mc::VoxelGrid3D& grid) {
+  const mc::GridSpec& spec = grid.spec();
+  const double dz = (spec.z_max - spec.z_min) / static_cast<double>(spec.nz);
+
+  std::vector<BeamSpreadPoint> series;
+  series.reserve(spec.nz);
+  for (std::size_t iz = 0; iz < spec.nz; ++iz) {
+    BeamSpreadPoint point;
+    point.z_mm = spec.z_min + (static_cast<double>(iz) + 0.5) * dz;
+    double sum_w = 0.0;
+    double sum_wr2 = 0.0;
+    for (std::size_t iy = 0; iy < spec.ny; ++iy) {
+      for (std::size_t ix = 0; ix < spec.nx; ++ix) {
+        const double w = grid.at(ix, iy, iz);
+        if (w <= 0.0) continue;
+        const std::size_t flat = (iz * spec.ny + iy) * spec.nx + ix;
+        const util::Vec3 c = grid.voxel_center(flat);
+        sum_w += w;
+        sum_wr2 += w * (c.x * c.x + c.y * c.y);
+      }
+    }
+    point.total_weight = sum_w;
+    point.rms_radius_mm = sum_w > 0.0 ? std::sqrt(sum_wr2 / sum_w) : 0.0;
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace phodis::analysis

@@ -1,0 +1,68 @@
+// Quantitative description of the spatial sensitivity profile ("banana").
+//
+// Fig. 3 of the paper shows the most common paths of detected photons in
+// homogeneous white matter forming a banana between source and detector.
+// These metrics turn a detected-path visit grid into numbers a test or
+// bench can assert on: the depth profile along the source-detector axis,
+// its mid-point maximum, end-point anchoring, and left/right symmetry.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mc/grid.hpp"
+
+namespace phodis::analysis {
+
+/// Weighted depth statistics of one x-column of the visit grid
+/// (summed over y).
+struct DepthProfilePoint {
+  double x_mm = 0.0;
+  double total_visits = 0.0;
+  double mean_depth_mm = 0.0;  ///< visit-weighted mean z
+  double mode_depth_mm = 0.0;  ///< z of the fullest voxel row
+};
+
+struct BananaMetrics {
+  std::vector<DepthProfilePoint> profile;  ///< one entry per x-column
+  double source_x_mm = 0.0;
+  double detector_x_mm = 0.0;
+  double midpoint_mean_depth_mm = 0.0;
+  double endpoint_mean_depth_mm = 0.0;  ///< average of the two end columns
+  /// Relative |left-right| asymmetry of visits about the midpoint, in
+  /// [0, 1]; small for a converged banana.
+  double asymmetry = 0.0;
+  /// Fraction of total visit weight inside the column span
+  /// [source_x, detector_x] (the banana should live between the optodes).
+  double between_fraction = 0.0;
+
+  /// The defining shape property: deepest in the middle, shallow at the
+  /// optodes.
+  bool is_banana_shaped() const noexcept {
+    return midpoint_mean_depth_mm > endpoint_mean_depth_mm &&
+           between_fraction > 0.5;
+  }
+};
+
+/// Compute banana metrics from a detected-path visit grid, for a source at
+/// x = 0 and detector at x = detector_x_mm (both at y = 0, z = 0).
+BananaMetrics banana_metrics(const mc::VoxelGrid3D& grid,
+                             double detector_x_mm);
+
+/// Apply a relative threshold: zero every voxel below
+/// `fraction_of_max` * max(grid). Returns the surviving visit fraction.
+/// This is the paper's "after thresholding" step for Fig. 3.
+double threshold_grid(mc::VoxelGrid3D& grid, double fraction_of_max);
+
+/// RMS radial spread sqrt(<x²+y²>) of deposits in each z-slab of a fluence
+/// grid — quantifies the paper's claim that "lasers do produce a small
+/// beam in a highly scattering medium".
+struct BeamSpreadPoint {
+  double z_mm = 0.0;
+  double rms_radius_mm = 0.0;
+  double total_weight = 0.0;
+};
+
+std::vector<BeamSpreadPoint> beam_spread_by_depth(const mc::VoxelGrid3D& grid);
+
+}  // namespace phodis::analysis

@@ -1,0 +1,93 @@
+#include "analysis/diffusion.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace phodis::analysis {
+
+namespace {
+
+/// Groenhuis' internal-reflection parameter A(n_rel) for the extrapolated
+/// boundary condition (polynomial fit, valid for 1 <= n_rel <= 1.6).
+double internal_reflection_parameter(double n_rel) {
+  if (n_rel == 1.0) return 1.0;
+  const double r0 = -1.440 / (n_rel * n_rel) + 0.710 / n_rel + 0.668 +
+                    0.0636 * n_rel;
+  return (1.0 + r0) / (1.0 - r0);
+}
+
+}  // namespace
+
+double diffusion_coefficient(const mc::OpticalProperties& props) {
+  const double denom = 3.0 * (props.mua + props.mus_reduced());
+  if (!(denom > 0.0)) {
+    throw std::invalid_argument("diffusion_coefficient: non-interacting medium");
+  }
+  return 1.0 / denom;
+}
+
+double effective_attenuation(const mc::OpticalProperties& props) {
+  return std::sqrt(props.mua / diffusion_coefficient(props));
+}
+
+double infinite_medium_fluence(const mc::OpticalProperties& props, double r) {
+  if (!(r > 0.0)) {
+    throw std::invalid_argument("infinite_medium_fluence: r must be > 0");
+  }
+  const double d = diffusion_coefficient(props);
+  const double mueff = effective_attenuation(props);
+  return std::exp(-mueff * r) / (4.0 * std::numbers::pi * d * r);
+}
+
+double semi_infinite_reflectance(const mc::OpticalProperties& props,
+                                 double rho_mm, double n_relative) {
+  if (!(rho_mm > 0.0)) {
+    throw std::invalid_argument("semi_infinite_reflectance: rho must be > 0");
+  }
+  const double mus_p = props.mus_reduced();
+  const double mut_p = props.mua + mus_p;
+  const double z0 = 1.0 / mut_p;                      // source depth
+  const double d = diffusion_coefficient(props);
+  const double a_param = internal_reflection_parameter(n_relative);
+  const double zb = 2.0 * a_param * d;                // extrapolated boundary
+  const double mueff = effective_attenuation(props);
+
+  const double r1 = std::hypot(rho_mm, z0);
+  const double z_img = z0 + 2.0 * zb;
+  const double r2 = std::hypot(rho_mm, z_img);
+
+  // Farrell et al. (1992) eq. (14): flux reaching the surface from the
+  // positive source and its image.
+  const double term1 =
+      z0 * (mueff + 1.0 / r1) * std::exp(-mueff * r1) / (r1 * r1);
+  const double term2 =
+      z_img * (mueff + 1.0 / r2) * std::exp(-mueff * r2) / (r2 * r2);
+  return (term1 + term2) / (4.0 * std::numbers::pi);
+}
+
+double mean_pathlength_semi_infinite(const mc::OpticalProperties& props,
+                                     double rho_mm) {
+  if (!(rho_mm > 0.0)) {
+    throw std::invalid_argument("mean_pathlength: rho must be > 0");
+  }
+  // d ln R / d µa of the single-dipole reflectance, evaluated analytically
+  // in the large-ρ regime: <L> = (ρ² µeff / (2 µa)) / (ρ µeff + 1) · µeff.
+  // Equivalent to the standard DPF expression
+  //   DPF = (1/2) sqrt(3 µs'/µa) · ρµeff/(ρµeff + 1).
+  const double mueff = effective_attenuation(props);
+  const double dpf = 0.5 * std::sqrt(3.0 * props.mus_reduced() / props.mua) *
+                     (mueff * rho_mm) / (mueff * rho_mm + 1.0);
+  return dpf * rho_mm;
+}
+
+double differential_pathlength_factor(const mc::OpticalProperties& props,
+                                      double rho_mm) {
+  return mean_pathlength_semi_infinite(props, rho_mm) / rho_mm;
+}
+
+double penetration_depth(const mc::OpticalProperties& props) {
+  return 1.0 / effective_attenuation(props);
+}
+
+}  // namespace phodis::analysis

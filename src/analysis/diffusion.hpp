@@ -1,0 +1,46 @@
+// Diffusion-approximation references ("Light transport in tissue is
+// analysed using radiative transport theory or the diffusion
+// approximation" — paper §2). Used as independent cross-checks on the
+// Monte Carlo kernel and to compute the NIRS quantities the paper's
+// introduction motivates (differential pathlength, penetration depth).
+#pragma once
+
+#include "mc/optical.hpp"
+
+namespace phodis::analysis {
+
+/// Diffusion coefficient D = 1 / (3 (µa + µs')) [mm].
+double diffusion_coefficient(const mc::OpticalProperties& props);
+
+/// Effective attenuation µeff = sqrt(µa / D) [1/mm].
+double effective_attenuation(const mc::OpticalProperties& props);
+
+/// Steady-state fluence of an isotropic point source of unit power in an
+/// infinite medium at distance r [mm]: φ(r) = exp(-µeff r) / (4π D r).
+double infinite_medium_fluence(const mc::OpticalProperties& props, double r);
+
+/// Spatially-resolved diffuse reflectance R(ρ) of a semi-infinite medium
+/// for a normally-incident pencil beam, using the dipole (extrapolated
+/// boundary) model of Farrell, Patterson & Wilson (1992). Matched
+/// boundary unless `n_relative` != 1, in which case the internal
+/// reflection parameter A follows Groenhuis' approximation.
+double semi_infinite_reflectance(const mc::OpticalProperties& props,
+                                 double rho_mm, double n_relative = 1.0);
+
+/// Mean optical pathlength of detected photons at source-detector
+/// separation ρ predicted by diffusion theory for a semi-infinite medium:
+/// the differential pathlength the paper's §1 discusses. Asymptotic form
+/// <L> ≈ (ρ/2) · sqrt(3µs'/µa) · [1/(1+µeff ρ)] · µeff ρ … reduced to the
+/// standard large-ρ limit <L> = ρ µeff /(2 µa) · (µeff ρ)/(1+µeff ρ).
+double mean_pathlength_semi_infinite(const mc::OpticalProperties& props,
+                                     double rho_mm);
+
+/// Differential pathlength factor DPF = <L> / ρ.
+double differential_pathlength_factor(const mc::OpticalProperties& props,
+                                      double rho_mm);
+
+/// 1/e penetration depth of a broad beam in the diffusive regime,
+/// δ = 1/µeff [mm].
+double penetration_depth(const mc::OpticalProperties& props);
+
+}  // namespace phodis::analysis

@@ -1,0 +1,131 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace phodis::analysis {
+
+namespace {
+
+/// Extract the y-slice nearest `y_mm`, downsampled (by max-pooling) to at
+/// most (max_cols x max_rows) cells. Returns cells[row][col] with row = z.
+std::vector<std::vector<double>> slice_cells(const mc::VoxelGrid3D& grid,
+                                             double y_mm,
+                                             std::size_t max_cols,
+                                             std::size_t max_rows) {
+  const mc::GridSpec& spec = grid.spec();
+  const double dy = (spec.y_max - spec.y_min) / static_cast<double>(spec.ny);
+  std::size_t iy = 0;
+  double best = std::abs(spec.y_min + 0.5 * dy - y_mm);
+  for (std::size_t j = 1; j < spec.ny; ++j) {
+    const double yc = spec.y_min + (static_cast<double>(j) + 0.5) * dy;
+    if (std::abs(yc - y_mm) < best) {
+      best = std::abs(yc - y_mm);
+      iy = j;
+    }
+  }
+
+  const std::size_t cols = std::min(max_cols, spec.nx);
+  const std::size_t rows = std::min(max_rows, spec.nz);
+  std::vector<std::vector<double>> cells(rows,
+                                         std::vector<double>(cols, 0.0));
+  for (std::size_t iz = 0; iz < spec.nz; ++iz) {
+    const std::size_t r = iz * rows / spec.nz;
+    for (std::size_t ix = 0; ix < spec.nx; ++ix) {
+      const std::size_t c = ix * cols / spec.nx;
+      cells[r][c] = std::max(cells[r][c], grid.at(ix, iy, iz));
+    }
+  }
+  return cells;
+}
+
+double scaled_intensity(double value, double max_value, bool log_scale,
+                        double floor_fraction) {
+  if (value <= max_value * floor_fraction || max_value <= 0.0) return 0.0;
+  if (!log_scale) return value / max_value;
+  const double lo = std::log10(std::max(floor_fraction, 1e-300));
+  const double t = (std::log10(value / max_value) - lo) / (0.0 - lo);
+  return std::clamp(t, 0.0, 1.0);
+}
+
+}  // namespace
+
+std::string render_ascii_slice(const mc::VoxelGrid3D& grid,
+                               const RenderOptions& options) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kRampSize = sizeof(kRamp) - 2;  // last index
+
+  const auto cells =
+      slice_cells(grid, options.y_mm, options.max_cols, options.max_rows);
+  double max_value = 0.0;
+  for (const auto& row : cells) {
+    for (double v : row) max_value = std::max(max_value, v);
+  }
+
+  std::ostringstream out;
+  for (const auto& row : cells) {
+    for (double v : row) {
+      const double t = scaled_intensity(v, max_value, options.log_scale,
+                                        options.floor_fraction);
+      out << kRamp[static_cast<std::size_t>(t * kRampSize)];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_pgm_slice(const mc::VoxelGrid3D& grid, const std::string& path,
+                     const RenderOptions& options) {
+  const auto cells =
+      slice_cells(grid, options.y_mm, options.max_cols, options.max_rows);
+  double max_value = 0.0;
+  for (const auto& row : cells) {
+    for (double v : row) max_value = std::max(max_value, v);
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm_slice: cannot open " + path);
+  out << "P5\n" << cells[0].size() << ' ' << cells.size() << "\n255\n";
+  for (const auto& row : cells) {
+    for (double v : row) {
+      const double t = scaled_intensity(v, max_value, options.log_scale,
+                                        options.floor_fraction);
+      out.put(static_cast<char>(static_cast<unsigned char>(t * 255.0)));
+    }
+  }
+}
+
+void write_csv_slice(const mc::VoxelGrid3D& grid, const std::string& path,
+                     double y_mm) {
+  const mc::GridSpec& spec = grid.spec();
+  const double dy = (spec.y_max - spec.y_min) / static_cast<double>(spec.ny);
+  std::size_t iy = 0;
+  double best = std::abs(spec.y_min + 0.5 * dy - y_mm);
+  for (std::size_t j = 1; j < spec.ny; ++j) {
+    const double yc = spec.y_min + (static_cast<double>(j) + 0.5) * dy;
+    if (std::abs(yc - y_mm) < best) {
+      best = std::abs(yc - y_mm);
+      iy = j;
+    }
+  }
+
+  util::CsvWriter csv(path);
+  csv.header({"x_mm", "z_mm", "value"});
+  const double dx = (spec.x_max - spec.x_min) / static_cast<double>(spec.nx);
+  const double dz = (spec.z_max - spec.z_min) / static_cast<double>(spec.nz);
+  for (std::size_t iz = 0; iz < spec.nz; ++iz) {
+    for (std::size_t ix = 0; ix < spec.nx; ++ix) {
+      csv.row({spec.x_min + (static_cast<double>(ix) + 0.5) * dx,
+               spec.z_min + (static_cast<double>(iz) + 0.5) * dz,
+               grid.at(ix, iy, iz)});
+    }
+  }
+}
+
+}  // namespace phodis::analysis

@@ -1,0 +1,34 @@
+// Rendering of scoring grids: ASCII art for terminal output (the benches
+// print Fig. 3/Fig. 4 as character maps), PGM images, and CSV slices for
+// external plotting.
+#pragma once
+
+#include <string>
+
+#include "mc/grid.hpp"
+
+namespace phodis::analysis {
+
+/// Options for slice rendering. Slices are taken through the y = `y_mm`
+/// plane (the source-detector plane), x horizontal, z (depth) downward.
+struct RenderOptions {
+  double y_mm = 0.0;
+  bool log_scale = true;       ///< map values through log10 before scaling
+  double floor_fraction = 1e-4;  ///< values below max*floor render as blank
+  std::size_t max_cols = 100;  ///< downsample wide grids to fit a terminal
+  std::size_t max_rows = 50;
+};
+
+/// Render the y-slice as ASCII art using a density ramp " .:-=+*#%@".
+std::string render_ascii_slice(const mc::VoxelGrid3D& grid,
+                               const RenderOptions& options = {});
+
+/// Write the y-slice as an 8-bit binary PGM image file.
+void write_pgm_slice(const mc::VoxelGrid3D& grid, const std::string& path,
+                     const RenderOptions& options = {});
+
+/// Write the y-slice as CSV (header x_mm,z_mm,value; one row per voxel).
+void write_csv_slice(const mc::VoxelGrid3D& grid, const std::string& path,
+                     double y_mm = 0.0);
+
+}  // namespace phodis::analysis

@@ -1,0 +1,69 @@
+#include "cluster/fleet.hpp"
+
+#include <stdexcept>
+
+namespace phodis::cluster {
+
+const std::vector<Table2Row>& table2_rows() {
+  static const std::vector<Table2Row> rows = {
+      {91, 28.0, 31.0, 256, "Linux", "P3 600MHz"},
+      {50, 190.0, 229.0, 512, "Linux", "P4 2.4GHz"},
+      {4, 15.0, 15.0, 192, "Linux", "P2 266MHz"},
+      {1, 154.0, 154.0, 1024, "Windows XP", "P4 Centrino 1.4GHz"},
+      {1, 25.0, 25.0, 512, "Linux", "P3 500MHz"},
+      {1, 37.0, 37.0, 256, "Linux", "P3 1GHz"},
+      {1, 72.0, 72.0, 256, "Linux", "P4 1.7GHz"},
+      {1, 91.0, 91.0, 1024, "FreeBSD", "AMD 2400+XP"},
+  };
+  return rows;
+}
+
+std::vector<NodeSpec> table2_fleet() {
+  std::vector<NodeSpec> fleet;
+  fleet.reserve(150);
+  std::size_t serial = 0;
+  for (const Table2Row& row : table2_rows()) {
+    for (std::uint32_t i = 0; i < row.count; ++i) {
+      NodeSpec node;
+      node.name = "client-" + std::to_string(serial++);
+      // Spread rates evenly across the row's measured range.
+      node.mflops =
+          row.count > 1
+              ? row.mflops_lo + (row.mflops_hi - row.mflops_lo) *
+                                    static_cast<double>(i) /
+                                    static_cast<double>(row.count - 1)
+              : row.mflops_lo;
+      node.ram_mb = row.ram_mb;
+      node.os = row.os;
+      node.cpu = row.cpu;
+      fleet.push_back(std::move(node));
+    }
+  }
+  return fleet;
+}
+
+std::vector<NodeSpec> homogeneous_p4_fleet(std::size_t count, double mflops) {
+  if (count == 0) {
+    throw std::invalid_argument("homogeneous_p4_fleet: count must be > 0");
+  }
+  std::vector<NodeSpec> fleet;
+  fleet.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    NodeSpec node;
+    node.name = "p4-" + std::to_string(i);
+    node.mflops = mflops;
+    node.ram_mb = 512;
+    node.os = "Linux";
+    node.cpu = "P4";
+    fleet.push_back(std::move(node));
+  }
+  return fleet;
+}
+
+double aggregate_mflops(const std::vector<NodeSpec>& fleet) {
+  double total = 0.0;
+  for (const NodeSpec& node : fleet) total += node.mflops;
+  return total;
+}
+
+}  // namespace phodis::cluster

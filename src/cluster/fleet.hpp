@@ -1,0 +1,50 @@
+// Fleet descriptions for the cluster simulator.
+//
+// Table 2 of the paper lists the 150 heterogeneous non-dedicated clients
+// (count, Mflop/s, JVM memory, OS, CPU) used for the production runs;
+// the speedup experiment of Fig. 2 used up to 60 homogeneous Pentium IVs
+// with 512 MB RAM. Both fleets are encoded here verbatim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phodis::cluster {
+
+/// One machine in the fleet.
+struct NodeSpec {
+  std::string name;
+  double mflops = 100.0;   ///< sustained processing rate [Mflop/s]
+  std::uint32_t ram_mb = 256;
+  std::string os;
+  std::string cpu;
+};
+
+/// One row of the paper's Table 2: `count` identical machines whose
+/// measured rate varied over [mflops_lo, mflops_hi].
+struct Table2Row {
+  std::uint32_t count;
+  double mflops_lo;
+  double mflops_hi;
+  std::uint32_t ram_mb;
+  std::string os;
+  std::string cpu;
+};
+
+/// The verbatim rows of Table 2 (sums to 150 machines).
+const std::vector<Table2Row>& table2_rows();
+
+/// Expand Table 2 into 150 NodeSpecs. Rates within a row's range are
+/// assigned deterministically (evenly spaced across the range), so the
+/// fleet is reproducible without an RNG.
+std::vector<NodeSpec> table2_fleet();
+
+/// `count` identical Pentium-IV class machines (Fig. 2's fleet).
+std::vector<NodeSpec> homogeneous_p4_fleet(std::size_t count,
+                                           double mflops = 200.0);
+
+/// Sum of node rates [Mflop/s].
+double aggregate_mflops(const std::vector<NodeSpec>& fleet);
+
+}  // namespace phodis::cluster

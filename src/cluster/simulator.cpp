@@ -1,0 +1,212 @@
+#include "cluster/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace phodis::cluster {
+
+void LoadModel::validate() const {
+  if (!(min_availability > 0.0) || min_availability > max_availability ||
+      max_availability > 1.0) {
+    throw std::invalid_argument(
+        "LoadModel: need 0 < min_availability <= max_availability <= 1");
+  }
+}
+
+void ClusterConfig::validate() const {
+  if (fleet.empty()) {
+    throw std::invalid_argument("ClusterConfig: empty fleet");
+  }
+  for (const NodeSpec& node : fleet) {
+    if (!(node.mflops > 0.0)) {
+      throw std::invalid_argument("ClusterConfig: node rate must be > 0");
+    }
+  }
+  if (total_photons == 0 || chunk_photons == 0) {
+    throw std::invalid_argument("ClusterConfig: photon counts must be > 0");
+  }
+  if (!(network.bandwidth_bps > 0.0) || network.latency_s < 0.0) {
+    throw std::invalid_argument("ClusterConfig: bad network model");
+  }
+  if (!(cost.flops_per_photon > 0.0)) {
+    throw std::invalid_argument("ClusterConfig: flops_per_photon must be > 0");
+  }
+  load.validate();
+}
+
+double ClusterReport::server_utilisation() const noexcept {
+  return makespan_s > 0.0 ? server_busy_s / makespan_s : 0.0;
+}
+
+double ClusterReport::mean_node_utilisation() const noexcept {
+  if (nodes.empty() || makespan_s <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const NodeReport& node : nodes) sum += node.busy_s / makespan_s;
+  return sum / static_cast<double>(nodes.size());
+}
+
+ClusterSimulator::ClusterSimulator(ClusterConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+ClusterReport ClusterSimulator::run() {
+  const std::vector<std::uint64_t> chunks =
+      dist::chunk_plan(config_.total_photons, config_.chunk_photons);
+  if (config_.mode == ScheduleMode::kStatic) {
+    // Default static policy when none is supplied explicitly.
+    dist::GreedyScheduler greedy;
+    return run_static(greedy);
+  }
+  return run_with_assignment(chunks, std::nullopt);
+}
+
+ClusterReport ClusterSimulator::run_static(dist::StaticScheduler& scheduler) {
+  const std::vector<std::uint64_t> chunks =
+      dist::chunk_plan(config_.total_photons, config_.chunk_photons);
+  std::vector<double> sizes(chunks.begin(), chunks.end());
+  std::vector<double> rates;
+  rates.reserve(config_.fleet.size());
+  for (const NodeSpec& node : config_.fleet) rates.push_back(node.mflops);
+  const dist::Schedule schedule = scheduler.schedule(sizes, rates);
+  return run_with_assignment(chunks, schedule.assignment);
+}
+
+ClusterReport ClusterSimulator::run_with_assignment(
+    const std::vector<std::uint64_t>& chunks,
+    const std::optional<std::vector<std::size_t>>& assignment) {
+  enum class Kind : std::uint8_t { kRequest, kResult };
+  struct Event {
+    double time;
+    std::uint64_t seq;  // tie-break so ordering is fully deterministic
+    std::size_t node;
+    Kind kind;
+    std::uint64_t photons;  // for kResult
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.time > b.time || (a.time == b.time && a.seq > b.seq);
+    }
+  };
+
+  const std::size_t node_count = config_.fleet.size();
+
+  // Work queues: one global queue (dynamic) or one per node (static).
+  std::vector<std::vector<std::uint64_t>> per_node_chunks(node_count);
+  std::size_t next_global_chunk = 0;
+  if (assignment) {
+    if (assignment->size() != chunks.size()) {
+      throw std::invalid_argument("static assignment size mismatch");
+    }
+    // Reverse order so pop_back() serves chunks in schedule order.
+    for (std::size_t j = chunks.size(); j-- > 0;) {
+      per_node_chunks[(*assignment)[j]].push_back(chunks[j]);
+    }
+  }
+
+  auto take_chunk = [&](std::size_t node) -> std::optional<std::uint64_t> {
+    if (assignment) {
+      auto& mine = per_node_chunks[node];
+      if (mine.empty()) return std::nullopt;
+      const std::uint64_t c = mine.back();
+      mine.pop_back();
+      return c;
+    }
+    if (next_global_chunk >= chunks.size()) return std::nullopt;
+    return chunks[next_global_chunk++];
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < node_count; ++i) {
+    queue.push(Event{0.0, seq++, i, Kind::kRequest, 0});
+  }
+
+  util::Xoshiro256pp rng(config_.seed);
+  double server_free = 0.0;
+  ClusterReport report;
+  report.nodes.resize(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    report.nodes[i].name = config_.fleet[i].name;
+  }
+
+  std::uint64_t merged = 0;
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+
+    if (ev.kind == Kind::kRequest) {
+      const auto chunk = take_chunk(ev.node);
+      if (!chunk) continue;  // node idles out; all its work is done
+      const double assign_start = std::max(ev.time, server_free);
+      server_free = assign_start + config_.cost.assign_cost_s;
+      report.server_busy_s += config_.cost.assign_cost_s;
+
+      const double node_start =
+          server_free + config_.network.transfer_s(config_.cost.task_bytes);
+      const double availability = rng.uniform(config_.load.min_availability,
+                                              config_.load.max_availability);
+      const double compute_s =
+          static_cast<double>(*chunk) * config_.cost.flops_per_photon /
+          (config_.fleet[ev.node].mflops * 1.0e6 * availability);
+      const double result_at_server =
+          node_start + compute_s +
+          config_.network.transfer_s(config_.cost.result_bytes);
+
+      NodeReport& nr = report.nodes[ev.node];
+      ++nr.tasks_completed;
+      nr.photons_computed += *chunk;
+      nr.busy_s += compute_s;
+
+      queue.push(Event{result_at_server, seq++, ev.node, Kind::kResult,
+                       *chunk});
+    } else {
+      const double merge_start = std::max(ev.time, server_free);
+      server_free = merge_start + config_.cost.merge_cost_s;
+      report.server_busy_s += config_.cost.merge_cost_s;
+      ++merged;
+      report.makespan_s = server_free;
+      // The client's next work request rides along with its result.
+      queue.push(Event{ev.time, seq++, ev.node, Kind::kRequest, 0});
+    }
+  }
+
+  report.tasks = merged;
+  return report;
+}
+
+std::vector<SpeedupPoint> speedup_series(
+    const ClusterConfig& base_config, std::size_t max_nodes,
+    const std::vector<std::size_t>& node_counts) {
+  if (base_config.fleet.empty()) {
+    throw std::invalid_argument("speedup_series: base fleet empty");
+  }
+  const NodeSpec prototype = base_config.fleet.front();
+
+  auto run_with = [&](std::size_t k) {
+    ClusterConfig config = base_config;
+    config.fleet.assign(k, prototype);
+    for (std::size_t i = 0; i < k; ++i) {
+      config.fleet[i].name = prototype.name + "-" + std::to_string(i);
+    }
+    return ClusterSimulator(config).run().makespan_s;
+  };
+
+  const double t1 = run_with(1);
+  std::vector<SpeedupPoint> series;
+  for (std::size_t k : node_counts) {
+    if (k == 0 || k > max_nodes) continue;
+    SpeedupPoint point;
+    point.processors = k;
+    point.makespan_s = run_with(k);
+    point.speedup = t1 / point.makespan_s;
+    point.efficiency = point.speedup / static_cast<double>(k);
+    series.push_back(point);
+  }
+  return series;
+}
+
+}  // namespace phodis::cluster

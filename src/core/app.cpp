@@ -1,0 +1,113 @@
+#include "core/app.hpp"
+
+#include <stdexcept>
+
+#include "dist/scheduler.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace phodis::core {
+
+std::vector<std::uint8_t> Algorithm::execute(
+    std::uint64_t task_id, const std::vector<std::uint8_t>& payload) {
+  const TaskPayload task = TaskPayload::decode(payload);
+  const mc::Kernel kernel(task.spec.kernel);
+  mc::SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng =
+      util::Xoshiro256pp::for_task(task.spec.seed, task_id);
+  kernel.run(task.task_photons, rng, tally);
+
+  util::ByteWriter writer;
+  tally.serialize(writer);
+  return writer.take();
+}
+
+void ExecutionOptions::validate() const {
+  if (workers == 0) {
+    throw std::invalid_argument("ExecutionOptions: need >= 1 worker");
+  }
+  transport_faults.validate();
+  if (!(lease_duration_s > 0.0)) {
+    throw std::invalid_argument("ExecutionOptions: lease must be > 0");
+  }
+  if (worker_death_probability < 0.0 || worker_death_probability >= 1.0) {
+    throw std::invalid_argument(
+        "ExecutionOptions: worker_death_probability must be in [0,1)");
+  }
+}
+
+MonteCarloApp::MonteCarloApp(SimulationSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+}
+
+std::vector<std::uint64_t> MonteCarloApp::plan_chunks(
+    std::uint64_t chunk_photons, std::size_t workers) const {
+  if (chunk_photons == 0) {
+    chunk_photons = dist::suggest_chunk_size(spec_.photons, workers);
+  }
+  return dist::chunk_plan(spec_.photons, chunk_photons);
+}
+
+mc::SimulationTally MonteCarloApp::run_serial(
+    std::uint64_t chunk_photons) const {
+  const std::vector<std::uint64_t> chunks = plan_chunks(chunk_photons, 1);
+  const mc::Kernel kernel(spec_.kernel);
+  mc::SimulationTally merged = kernel.make_tally();
+  for (std::size_t task_id = 0; task_id < chunks.size(); ++task_id) {
+    mc::SimulationTally partial = kernel.make_tally();
+    util::Xoshiro256pp rng = util::Xoshiro256pp::for_task(spec_.seed, task_id);
+    kernel.run(chunks[task_id], rng, partial);
+    merged.merge(partial);
+  }
+  return merged;
+}
+
+RunSummary MonteCarloApp::run_distributed(
+    const ExecutionOptions& options) const {
+  options.validate();
+  util::Stopwatch stopwatch;
+
+  const std::vector<std::uint64_t> chunks =
+      plan_chunks(options.chunk_photons, options.workers);
+
+  std::vector<dist::TaskRecord> tasks;
+  tasks.reserve(chunks.size());
+  for (std::size_t task_id = 0; task_id < chunks.size(); ++task_id) {
+    TaskPayload payload;
+    payload.spec = spec_;
+    payload.task_photons = chunks[task_id];
+    tasks.push_back(dist::TaskRecord{task_id, payload.encode()});
+  }
+
+  dist::RuntimeConfig runtime_config;
+  runtime_config.worker_count = options.workers;
+  runtime_config.lease_duration_s = options.lease_duration_s;
+  runtime_config.transport_faults = options.transport_faults;
+  runtime_config.worker_death_probability = options.worker_death_probability;
+
+  dist::Runtime runtime(runtime_config);
+  dist::RuntimeReport report = runtime.run(tasks, Algorithm::execute);
+
+  if (report.results.size() != tasks.size()) {
+    throw std::runtime_error("MonteCarloApp: missing task results");
+  }
+
+  // std::map iteration is ordered by task id: the merge order (and hence
+  // the floating-point result) never depends on completion order.
+  const mc::Kernel kernel(spec_.kernel);
+  RunSummary summary{kernel.make_tally()};
+  for (const auto& [task_id, bytes] : report.results) {
+    util::ByteReader reader(bytes);
+    summary.tally.merge(mc::SimulationTally::deserialize(reader));
+  }
+  summary.tasks = tasks.size();
+  summary.manager_stats = report.manager_stats;
+  summary.frames_sent = report.frames_sent;
+  summary.frames_dropped = report.frames_dropped;
+  summary.bytes_sent = report.bytes_sent;
+  summary.workers_died = report.workers_died;
+  summary.wall_seconds = stopwatch.seconds();
+  return summary;
+}
+
+}  // namespace phodis::core

@@ -1,0 +1,78 @@
+// MonteCarloApp — the paper's application, tying the two classes together:
+//
+//   "The distributed Monte Carlo application consists of two classes.
+//    The DataManager, which resides on the server, assigns simulations to
+//    client PCs and processes the returned results. The Algorithm, which
+//    resides on the client PCs, takes in parameters from the DataManager,
+//    performs Monte Carlo simulations and returns the results."
+//
+// The app splits a photon budget into tasks, runs them on the distributed
+// runtime (or serially), and merges the returned tallies **in task-id
+// order**, so the final result is bitwise identical regardless of worker
+// count, scheduling, injected faults, or whether the run was serial —
+// the reproducibility property DESIGN.md §4.1 commits to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "dist/runtime.hpp"
+#include "mc/tally.hpp"
+
+namespace phodis::core {
+
+/// Client-side class (the paper's `Algorithm`): decodes a task payload,
+/// reconstructs the kernel, runs this task's photons on the task's own
+/// RNG stream, and returns the serialised partial tally.
+class Algorithm {
+ public:
+  static std::vector<std::uint8_t> execute(
+      std::uint64_t task_id, const std::vector<std::uint8_t>& payload);
+};
+
+struct ExecutionOptions {
+  std::size_t workers = 2;
+  /// Photons per task; 0 picks a size giving each worker ~4 pulls.
+  std::uint64_t chunk_photons = 0;
+  double lease_duration_s = 5.0;
+  dist::FaultSpec transport_faults;
+  double worker_death_probability = 0.0;
+
+  void validate() const;
+};
+
+struct RunSummary {
+  mc::SimulationTally tally;
+  std::uint64_t tasks = 0;
+  double wall_seconds = 0.0;
+  dist::DataManagerStats manager_stats;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::size_t workers_died = 0;
+};
+
+class MonteCarloApp {
+ public:
+  explicit MonteCarloApp(SimulationSpec spec);
+
+  /// Single-threaded execution of the same task plan; merging in task-id
+  /// order makes this bitwise identical to run_distributed.
+  mc::SimulationTally run_serial(std::uint64_t chunk_photons = 0) const;
+
+  /// Full platform execution: DataManager + worker pool over the loopback
+  /// transport, with optional fault injection.
+  RunSummary run_distributed(const ExecutionOptions& options) const;
+
+  /// The task plan for a given chunk size (0 = auto for `workers`).
+  std::vector<std::uint64_t> plan_chunks(std::uint64_t chunk_photons,
+                                         std::size_t workers) const;
+
+  const SimulationSpec& spec() const noexcept { return spec_; }
+
+ private:
+  SimulationSpec spec_;
+};
+
+}  // namespace phodis::core

@@ -1,0 +1,76 @@
+#include "core/experiments.hpp"
+
+#include "mc/presets.hpp"
+
+namespace phodis::core {
+
+SimulationSpec fig3_banana_spec(std::uint64_t photons, std::size_t granularity,
+                                double separation_mm, std::uint64_t seed) {
+  SimulationSpec spec;
+  spec.kernel.medium = mc::homogeneous_white_matter();
+  spec.kernel.source.type = mc::SourceType::kDelta;
+
+  mc::DetectorSpec detector;
+  detector.separation_mm = separation_mm;
+  detector.radius_mm = 2.0;
+  spec.kernel.detector = detector;
+
+  // Grid window: a margin around the optode span, depth ~ separation.
+  const double margin = 0.5 * separation_mm;
+  mc::GridSpec grid;
+  grid.x_min = -margin;
+  grid.x_max = separation_mm + margin;
+  grid.y_min = -margin;
+  grid.y_max = margin;
+  grid.z_min = 0.0;
+  grid.z_max = separation_mm;
+  grid.nx = grid.ny = grid.nz = granularity;
+  spec.kernel.tally.enable_path_grid = true;
+  spec.kernel.tally.path_spec = grid;
+
+  spec.photons = photons;
+  spec.seed = seed;
+  return spec;
+}
+
+SimulationSpec fig4_head_spec(std::uint64_t photons, std::size_t granularity,
+                              double separation_mm, std::uint64_t seed) {
+  SimulationSpec spec;
+  spec.kernel.medium = mc::adult_head_model();
+  spec.kernel.source.type = mc::SourceType::kDelta;
+
+  mc::DetectorSpec detector;
+  detector.separation_mm = separation_mm;
+  detector.radius_mm = 2.5;
+  spec.kernel.detector = detector;
+
+  const double margin = 0.5 * separation_mm;
+  mc::GridSpec grid;
+  grid.x_min = -margin;
+  grid.x_max = separation_mm + margin;
+  grid.y_min = -margin;
+  grid.y_max = margin;
+  grid.z_min = 0.0;
+  grid.z_max = 30.0;  // scalp..white matter span of the Table 1 model
+  grid.nx = grid.ny = grid.nz = granularity;
+  spec.kernel.tally.enable_fluence_grid = true;
+  spec.kernel.tally.fluence_spec = grid;
+  spec.kernel.tally.enable_path_grid = true;
+  spec.kernel.tally.path_spec = grid;
+  spec.kernel.tally.depth_max_mm = 30.0;
+
+  spec.photons = photons;
+  spec.seed = seed;
+  return spec;
+}
+
+SimulationSpec source_footprint_spec(mc::SourceType type, double radius_mm,
+                                     std::uint64_t photons,
+                                     std::uint64_t seed) {
+  SimulationSpec spec = fig4_head_spec(photons, 50, 30.0, seed);
+  spec.kernel.source.type = type;
+  spec.kernel.source.radius_mm = radius_mm;
+  return spec;
+}
+
+}  // namespace phodis::core

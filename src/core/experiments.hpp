@@ -1,0 +1,32 @@
+// Preset simulation specs for the paper's experiments, shared by the
+// benches, examples and integration tests so every consumer reproduces
+// exactly the same configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "core/spec.hpp"
+
+namespace phodis::core {
+
+/// Fig. 3: laser (delta) source into homogeneous white matter, detected
+/// paths accumulated on a granularity³ grid. Source at origin, detector
+/// disc at `separation_mm`.
+SimulationSpec fig3_banana_spec(std::uint64_t photons = 200'000,
+                                std::size_t granularity = 50,
+                                double separation_mm = 20.0,
+                                std::uint64_t seed = 2006);
+
+/// Fig. 4: the layered adult head model of Table 1 with fluence and
+/// all-paths grids enabled.
+SimulationSpec fig4_head_spec(std::uint64_t photons = 200'000,
+                              std::size_t granularity = 50,
+                              double separation_mm = 30.0,
+                              std::uint64_t seed = 2006);
+
+/// §4 source-footprint study: same head model, configurable source.
+SimulationSpec source_footprint_spec(mc::SourceType type, double radius_mm,
+                                     std::uint64_t photons = 100'000,
+                                     std::uint64_t seed = 2006);
+
+}  // namespace phodis::core

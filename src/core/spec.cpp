@@ -1,0 +1,124 @@
+#include "core/spec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace phodis::core {
+
+namespace {
+
+void serialize_medium(util::ByteWriter& w, const mc::LayeredMedium& medium) {
+  w.f64(medium.n_above());
+  w.f64(medium.n_below());
+  w.u64(medium.layer_count());
+  for (const mc::Layer& layer : medium.layers()) {
+    w.str(layer.name);
+    w.f64(layer.props.mua);
+    w.f64(layer.props.mus);
+    w.f64(layer.props.g);
+    w.f64(layer.props.n);
+    w.boolean(std::isinf(layer.z1));
+    w.f64(std::isinf(layer.z1) ? 0.0 : layer.thickness());
+  }
+}
+
+mc::LayeredMedium deserialize_medium(util::ByteReader& r) {
+  mc::LayeredMediumBuilder builder;
+  builder.ambient_above(r.f64()).ambient_below(r.f64());
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = r.str();
+    mc::OpticalProperties props;
+    props.mua = r.f64();
+    props.mus = r.f64();
+    props.g = r.f64();
+    props.n = r.f64();
+    const bool semi_infinite = r.boolean();
+    const double thickness = r.f64();
+    if (semi_infinite) {
+      builder.add_semi_infinite_layer(std::move(name), props);
+    } else {
+      builder.add_layer(std::move(name), props, thickness);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+void SimulationSpec::validate() const {
+  if (photons == 0) {
+    throw std::invalid_argument("SimulationSpec: photons must be > 0");
+  }
+  kernel.validate();
+}
+
+void SimulationSpec::serialize(util::ByteWriter& writer) const {
+  serialize_medium(writer, kernel.medium);
+  writer.u8(static_cast<std::uint8_t>(kernel.source.type));
+  writer.f64(kernel.source.radius_mm);
+  writer.f64(kernel.source.half_angle_deg);
+  writer.boolean(kernel.detector.has_value());
+  if (kernel.detector) {
+    writer.f64(kernel.detector->separation_mm);
+    writer.f64(kernel.detector->radius_mm);
+    writer.f64(kernel.detector->gate.min_mm);
+    writer.f64(kernel.detector->gate.max_mm);
+  }
+  writer.u8(static_cast<std::uint8_t>(kernel.boundary_model));
+  writer.f64(kernel.roulette.threshold);
+  writer.f64(kernel.roulette.survival_multiplier);
+  kernel.tally.serialize(writer);
+  writer.boolean(kernel.record_all_paths);
+  writer.u64(kernel.max_interactions);
+  writer.u64(photons);
+  writer.u64(seed);
+}
+
+SimulationSpec SimulationSpec::deserialize(util::ByteReader& reader) {
+  SimulationSpec spec;
+  spec.kernel.medium = deserialize_medium(reader);
+  spec.kernel.source.type = static_cast<mc::SourceType>(reader.u8());
+  spec.kernel.source.radius_mm = reader.f64();
+  spec.kernel.source.half_angle_deg = reader.f64();
+  if (reader.boolean()) {
+    mc::DetectorSpec detector;
+    detector.separation_mm = reader.f64();
+    detector.radius_mm = reader.f64();
+    detector.gate.min_mm = reader.f64();
+    detector.gate.max_mm = reader.f64();
+    spec.kernel.detector = detector;
+  }
+  spec.kernel.boundary_model =
+      static_cast<mc::BoundaryModel>(reader.u8());
+  spec.kernel.roulette.threshold = reader.f64();
+  spec.kernel.roulette.survival_multiplier = reader.f64();
+  spec.kernel.tally = mc::TallyConfig::deserialize(reader);
+  spec.kernel.record_all_paths = reader.boolean();
+  spec.kernel.max_interactions = reader.u64();
+  spec.photons = reader.u64();
+  spec.seed = reader.u64();
+  spec.validate();
+  return spec;
+}
+
+std::vector<std::uint8_t> TaskPayload::encode() const {
+  util::ByteWriter writer;
+  spec.serialize(writer);
+  writer.u64(task_photons);
+  return writer.take();
+}
+
+TaskPayload TaskPayload::decode(const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader reader(bytes);
+  TaskPayload payload;
+  payload.spec = SimulationSpec::deserialize(reader);
+  payload.task_photons = reader.u64();
+  if (!reader.exhausted()) {
+    throw std::invalid_argument("TaskPayload: trailing bytes");
+  }
+  return payload;
+}
+
+}  // namespace phodis::core

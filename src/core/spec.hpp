@@ -1,0 +1,37 @@
+// SimulationSpec: the complete, serialisable description of one Monte
+// Carlo experiment — what the DataManager ships to a client so that the
+// client-side Algorithm can reconstruct the kernel and run its share of
+// photons. The task payload is (spec, photon count); the task *id* selects
+// the RNG stream, which is what makes the merged result independent of
+// which client ran which task.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mc/kernel.hpp"
+#include "util/bytes.hpp"
+
+namespace phodis::core {
+
+struct SimulationSpec {
+  mc::KernelConfig kernel;
+  std::uint64_t photons = 1'000'000;
+  std::uint64_t seed = 2006;
+
+  void validate() const;
+
+  void serialize(util::ByteWriter& writer) const;
+  static SimulationSpec deserialize(util::ByteReader& reader);
+};
+
+/// Payload of one task: the spec plus this task's photon share.
+struct TaskPayload {
+  SimulationSpec spec;
+  std::uint64_t task_photons = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static TaskPayload decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace phodis::core

@@ -1,0 +1,67 @@
+// Surface detector with gated differential pathlengths.
+//
+// The detector is a disc of radius `radius_mm` centred at
+// (separation_mm, 0, 0) on the top surface — the optode geometry of
+// near-infrared spectroscopy, where a fibre sits some 20–60 mm from the
+// source. A photon escaping the top surface is "detected" when its exit
+// point falls inside the disc AND its optical pathlength lies inside the
+// configured gate. Gating reproduces the paper's pulsed source/detector
+// feature ("the source and detector only operate between pulses").
+#pragma once
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/vec3.hpp"
+
+namespace phodis::mc {
+
+struct PathlengthGate {
+  double min_mm = 0.0;
+  double max_mm = std::numeric_limits<double>::infinity();
+
+  bool accepts(double optical_pathlength_mm) const noexcept {
+    return optical_pathlength_mm >= min_mm && optical_pathlength_mm <= max_mm;
+  }
+
+  void validate() const {
+    if (!(min_mm >= 0.0) || !(max_mm > min_mm)) {
+      throw std::invalid_argument("PathlengthGate: need 0 <= min < max");
+    }
+  }
+
+  bool is_open() const noexcept {
+    return min_mm == 0.0 && max_mm == std::numeric_limits<double>::infinity();
+  }
+};
+
+struct DetectorSpec {
+  double separation_mm = 30.0;  ///< source-detector distance along +x
+  double radius_mm = 2.5;       ///< active disc radius
+  PathlengthGate gate;          ///< optical-pathlength acceptance window
+
+  void validate() const {
+    if (!(separation_mm >= 0.0)) {
+      throw std::invalid_argument("DetectorSpec: separation must be >= 0");
+    }
+    if (!(radius_mm > 0.0)) {
+      throw std::invalid_argument("DetectorSpec: radius must be > 0");
+    }
+    gate.validate();
+  }
+
+  /// Geometric test: does a photon exiting the top surface at `exit`
+  /// (z = 0) land on the detector disc?
+  bool contains(const util::Vec3& exit) const noexcept {
+    const double dx = exit.x - separation_mm;
+    const double dy = exit.y;
+    return dx * dx + dy * dy <= radius_mm * radius_mm;
+  }
+
+  /// Full acceptance test including the pathlength gate.
+  bool accepts(const util::Vec3& exit, double optical_pathlength) const noexcept {
+    return contains(exit) && gate.accepts(optical_pathlength);
+  }
+};
+
+}  // namespace phodis::mc

@@ -1,0 +1,31 @@
+// Fresnel reflection and Snell refraction at a planar interface between
+// media of refractive indices n_i (incident side) and n_t (transmitted
+// side). The paper's Fig. 1 pseudocode branches on the critical angle:
+// beyond it the photon is internally reflected, otherwise it refracts.
+#pragma once
+
+namespace phodis::mc {
+
+/// Result of evaluating an interface crossing.
+struct FresnelResult {
+  double reflectance = 1.0;     ///< unpolarised R(θi) in [0, 1]
+  double cos_transmit = 0.0;    ///< |cos θt|; meaningful when not TIR
+  bool total_internal = false;  ///< θi beyond the critical angle
+};
+
+/// Evaluate the unpolarised Fresnel reflectance for incidence cosine
+/// `cos_i` = |cos θi| in [0, 1]. Handles the three analytic special cases
+/// exactly: matched indices (R = 0), normal incidence, and grazing
+/// incidence (R = 1).
+FresnelResult fresnel(double n_i, double n_t, double cos_i) noexcept;
+
+/// Cosine of the critical angle for n_i > n_t; returns 0 when there is no
+/// critical angle (n_i <= n_t), meaning every incidence angle transmits
+/// partially.
+double critical_cos(double n_i, double n_t) noexcept;
+
+/// Specular reflectance at normal incidence, ((n1-n2)/(n1+n2))^2 — the
+/// launch-time loss the kernel applies before the first step.
+double specular_reflectance(double n1, double n2) noexcept;
+
+}  // namespace phodis::mc

@@ -1,0 +1,327 @@
+#include "mc/kernel.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "mc/fresnel.hpp"
+#include "mc/scatter.hpp"
+
+namespace phodis::mc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDirEps = 1e-12;  // |dir.z| below this counts as horizontal
+
+/// Advance the packet `distance` mm through a medium of index n.
+void advance(PhotonPacket& photon, double distance, double n) noexcept {
+  photon.pos += photon.dir * distance;
+  photon.pathlength += distance;
+  photon.optical_pathlength += distance * n;
+  photon.max_depth = std::max(photon.max_depth, photon.pos.z);
+}
+
+}  // namespace
+
+BoundaryModel parse_boundary_model(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "probabilistic" || lower == "prob") {
+    return BoundaryModel::kProbabilistic;
+  }
+  if (lower == "classical" || lower == "classic") {
+    return BoundaryModel::kClassical;
+  }
+  throw std::invalid_argument("unknown boundary model: " + name);
+}
+
+std::string to_string(BoundaryModel model) {
+  return model == BoundaryModel::kProbabilistic ? "probabilistic"
+                                                : "classical";
+}
+
+void KernelConfig::validate() const {
+  if (medium.layer_count() == 0) {
+    throw std::invalid_argument("KernelConfig: medium has no layers");
+  }
+  source.validate();
+  if (detector) detector->validate();
+  roulette.validate();
+  if (max_interactions == 0) {
+    throw std::invalid_argument("KernelConfig: max_interactions must be > 0");
+  }
+  if (record_all_paths && !tally.enable_path_grid) {
+    throw std::invalid_argument(
+        "KernelConfig: record_all_paths requires the path grid");
+  }
+}
+
+Kernel::Kernel(KernelConfig config)
+    : config_(std::move(config)), source_(config_.source) {
+  config_.tally.layer_count = config_.medium.layer_count();
+  config_.validate();
+}
+
+SimulationTally Kernel::make_tally() const {
+  return SimulationTally(config_.tally);
+}
+
+void Kernel::run(std::uint64_t photon_count, util::Xoshiro256pp& rng,
+                 SimulationTally& tally) const {
+  PathRecorder recorder;
+  for (std::uint64_t i = 0; i < photon_count; ++i) {
+    simulate_one(rng, tally, recorder, nullptr, 0);
+  }
+}
+
+PhotonTrace Kernel::trace(util::Xoshiro256pp& rng,
+                          std::size_t max_vertices) const {
+  SimulationTally scratch = make_tally();
+  PathRecorder recorder;
+  PhotonTrace result;
+  simulate_one(rng, scratch, recorder, &result.vertices, max_vertices);
+  return result;
+}
+
+void Kernel::simulate_one(util::Xoshiro256pp& rng, SimulationTally& tally,
+                          PathRecorder& recorder,
+                          std::vector<util::Vec3>* trace_out,
+                          std::size_t max_vertices) const {
+  const LayeredMedium& medium = config_.medium;
+  PhotonPacket photon = source_.launch(rng);
+  tally.count_launch();
+  recorder.clear();
+
+  auto note_vertex = [&](const util::Vec3& p) {
+    if (trace_out && trace_out->size() < max_vertices) {
+      trace_out->push_back(p);
+    }
+  };
+  note_vertex(photon.pos);
+
+  // Specular loss and refraction at the air/tissue interface before the
+  // first step ("initialise photon" in Fig. 1). For a collimated source
+  // this is the normal-incidence ((n1-n2)/(n1+n2))^2; diverging sources
+  // hit at an angle, so the full Fresnel expression applies and the
+  // transmitted direction bends per Snell.
+  const double n_out = medium.n_above();
+  const double n_in = medium.layer(0).props.n;
+  const FresnelResult entry = fresnel(n_out, n_in, photon.dir.z);
+  tally.add_specular(photon.weight * entry.reflectance);
+  photon.weight *= 1.0 - entry.reflectance;
+  if (entry.total_internal || photon.weight <= 0.0) {
+    photon.fate = PhotonFate::kReflectedSpecular;
+    tally.record_max_depth(0.0, 1.0);
+    return;
+  }
+  const double entry_scale = n_out / n_in;
+  photon.dir.x *= entry_scale;
+  photon.dir.y *= entry_scale;
+  photon.dir.z = entry.cos_transmit;
+  photon.dir = photon.dir.normalized();
+
+  double s_left = 0.0;  // dimensionless step remaining across boundaries
+  std::uint64_t interactions = 0;
+
+  while (photon.alive()) {
+    if (++interactions > config_.max_interactions) {
+      tally.add_lost(photon.weight);
+      photon.fate = PhotonFate::kMaxStepsExceeded;
+      break;
+    }
+
+    const Layer& layer = medium.layer(photon.layer);
+    const double mut = layer.props.mut();
+    if (s_left <= 0.0) s_left = -std::log(rng.uniform_open0());
+
+    // Distance to the layer interface along the direction of travel.
+    const bool downward = photon.dir.z > 0.0;
+    double d_boundary = kInf;
+    if (photon.dir.z > kDirEps) {
+      d_boundary = std::max(0.0, (layer.z1 - photon.pos.z) / photon.dir.z);
+    } else if (photon.dir.z < -kDirEps) {
+      d_boundary = std::max(0.0, (layer.z0 - photon.pos.z) / photon.dir.z);
+    }
+
+    const double s_phys = mut > 0.0 ? s_left / mut : kInf;
+
+    if (!std::isfinite(d_boundary) && !std::isfinite(s_phys)) {
+      // Horizontal flight in a non-interacting medium: the photon can
+      // never reach an interface or interact again.
+      tally.add_lost(photon.weight);
+      photon.fate = PhotonFate::kMaxStepsExceeded;
+      break;
+    }
+
+    if (d_boundary <= s_phys) {
+      advance(photon, d_boundary, layer.props.n);
+      note_vertex(photon.pos);
+      s_left -= d_boundary * mut;
+      if (s_left < 0.0) s_left = 0.0;
+      if (handle_boundary(photon, downward, rng, tally, recorder)) break;
+    } else {
+      advance(photon, s_phys, layer.props.n);
+      note_vertex(photon.pos);
+      s_left = 0.0;
+
+      // "update absorption and photon weight" — deposit W·µa/µt here.
+      const double dw = photon.weight * layer.props.mua / mut;
+      photon.weight -= dw;
+      tally.add_absorption(photon.layer, dw);
+      if (VoxelGrid3D* grid = tally.fluence_grid()) {
+        grid->deposit(photon.pos, dw);
+      }
+      if (RadialTally* radial = tally.radial()) {
+        radial->score_absorption(std::hypot(photon.pos.x, photon.pos.y),
+                                 photon.pos.z, dw);
+      }
+      if (const VoxelGrid3D* grid = tally.path_grid()) {
+        // Unit deposits: the path grid counts *visit frequency* (the
+        // paper's "most common paths taken by the photons"), so every
+        // detected path contributes uniformly along its length instead of
+        // being biased toward its high-weight beginning.
+        recorder.record(*grid, photon.pos, 1.0);
+      }
+
+      photon.dir = scatter_direction(photon.dir, layer.props.g, rng);
+      ++photon.scatter_events;
+    }
+
+    // "if (weight too small) survive roulette" — applies after either
+    // branch: classical boundary splitting also erodes the weight.
+    if (photon.alive() && photon.weight < config_.roulette.threshold) {
+      const double before = photon.weight;
+      const double after = play_roulette(before, config_.roulette, rng);
+      if (after == 0.0) {
+        tally.add_roulette_loss(before);
+        photon.fate = PhotonFate::kAbsorbed;
+        break;
+      }
+      tally.add_roulette_gain(after - before);
+      photon.weight = after;
+    }
+  }
+
+  tally.record_max_depth(photon.max_depth, 1.0);
+  if (config_.record_all_paths && photon.fate != PhotonFate::kDetected) {
+    if (VoxelGrid3D* grid = tally.path_grid()) recorder.commit(*grid);
+  }
+}
+
+bool Kernel::handle_boundary(PhotonPacket& photon, bool downward,
+                             util::Xoshiro256pp& rng, SimulationTally& tally,
+                             PathRecorder& recorder) const {
+  const LayeredMedium& medium = config_.medium;
+  const Layer& layer = medium.layer(photon.layer);
+  const double n_i = layer.props.n;
+  const double n_t = medium.neighbour_index(photon.layer, downward);
+  const double cos_i = std::abs(photon.dir.z);
+  const FresnelResult fr = fresnel(n_i, n_t, cos_i);
+
+  const bool exterior_top = !downward && photon.layer == 0;
+  const bool exterior_bottom = downward &&
+                               photon.layer + 1 == medium.layer_count() &&
+                               std::isfinite(layer.z1);
+
+  auto reflect = [&photon]() { photon.dir.z = -photon.dir.z; };
+
+  if (exterior_top || exterior_bottom) {
+    if (fr.total_internal) {  // "if (photon angle > critical angle)"
+      reflect();
+      return false;
+    }
+    if (config_.boundary_model == BoundaryModel::kClassical) {
+      // Deterministic partial transmission: (1-R)·W escapes now, R·W
+      // keeps propagating inside.
+      const double transmitted = photon.weight * (1.0 - fr.reflectance);
+      bool detected = false;
+      if (transmitted > 0.0) {
+        if (exterior_top) {
+          detected = finish_exit_top(photon, transmitted, tally, recorder);
+        } else {
+          finish_exit_bottom(photon, transmitted, tally);
+        }
+        photon.weight -= transmitted;
+      }
+      reflect();
+      if (photon.weight <= 0.0) {
+        photon.fate = detected              ? PhotonFate::kDetected
+                      : exterior_top        ? PhotonFate::kReflectedDiffuse
+                                            : PhotonFate::kTransmitted;
+        return true;
+      }
+      // In classical mode the packet survives a detection event with its
+      // reflected fraction and may be detected again later; each partial
+      // escape has already been tallied.
+      return false;
+    }
+    // Probabilistic: the whole packet either escapes or reflects.
+    if (rng.uniform() < fr.reflectance) {
+      reflect();
+      return false;
+    }
+    if (exterior_top) {
+      // "... and end": the whole packet leaves, detected or not.
+      const bool detected =
+          finish_exit_top(photon, photon.weight, tally, recorder);
+      photon.fate = detected ? PhotonFate::kDetected
+                             : PhotonFate::kReflectedDiffuse;
+    } else {
+      finish_exit_bottom(photon, photon.weight, tally);
+      photon.fate = PhotonFate::kTransmitted;
+    }
+    return true;
+  }
+
+  // Interior interface between two tissue layers. Reflection is sampled
+  // probabilistically in both boundary models (a single-packet tracker
+  // cannot fork into two continuing packets).
+  if (fr.total_internal || rng.uniform() < fr.reflectance) {
+    reflect();
+    return false;
+  }
+
+  // Refract: Snell's law preserves the tangential direction scaled by
+  // n_i/n_t; the packet crosses into the adjacent layer.
+  const double scale = n_i / n_t;
+  photon.dir.x *= scale;
+  photon.dir.y *= scale;
+  photon.dir.z = downward ? fr.cos_transmit : -fr.cos_transmit;
+  photon.dir = photon.dir.normalized();
+  photon.layer = downward ? photon.layer + 1 : photon.layer - 1;
+  return false;
+}
+
+bool Kernel::finish_exit_top(PhotonPacket& photon, double weight,
+                             SimulationTally& tally,
+                             PathRecorder& recorder) const {
+  tally.add_diffuse_reflectance(weight);
+  if (RadialTally* radial = tally.radial()) {
+    radial->score_reflectance(std::hypot(photon.pos.x, photon.pos.y),
+                              weight);
+  }
+  if (!config_.detector) return false;
+  // "if (photon passed through detector) save path ..."
+  if (config_.detector->accepts(photon.pos, photon.optical_pathlength)) {
+    const double radius = std::hypot(photon.pos.x, photon.pos.y);
+    tally.record_detection(weight, photon.optical_pathlength, radius,
+                           photon.scatter_events);
+    if (VoxelGrid3D* grid = tally.path_grid()) recorder.commit(*grid);
+    return true;
+  }
+  return false;
+}
+
+void Kernel::finish_exit_bottom(PhotonPacket& photon, double weight,
+                                SimulationTally& tally) const {
+  tally.add_transmittance(weight);
+  if (RadialTally* radial = tally.radial()) {
+    radial->score_transmittance(std::hypot(photon.pos.x, photon.pos.y),
+                                weight);
+  }
+}
+
+}  // namespace phodis::mc

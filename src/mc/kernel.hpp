@@ -1,0 +1,123 @@
+// The Monte Carlo photon-transport kernel — the paper's Fig. 1 pseudocode:
+//
+//   begin
+//     initialise photon
+//     while (photon survived)
+//       move photon
+//       if (changed medium)
+//         if (photon angle > critical angle) internally reflect
+//         else refract
+//       if (photon passed through detector) save path and end
+//       update absorption and photon weight
+//       if (weight too small) survive roulette
+//   end
+//
+// Implemented in the MCML convention: dimensionless step lengths carried
+// across layer boundaries, weight deposition W·µa/µt at interaction sites,
+// Henyey–Greenstein scattering, Fresnel boundaries, Russian roulette.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/detector.hpp"
+#include "mc/grid.hpp"
+#include "mc/layer.hpp"
+#include "mc/photon.hpp"
+#include "mc/roulette.hpp"
+#include "mc/source.hpp"
+#include "mc/tally.hpp"
+#include "util/rng.hpp"
+
+namespace phodis::mc {
+
+/// How interfaces split photon weight (a feature the paper lists:
+/// "refraction and internal reflection (classical physics or probabilistic
+/// methods)").
+enum class BoundaryModel : std::uint8_t {
+  /// Sample reflect-vs-transmit with probability R(θ): the photon stays
+  /// whole. Default; lowest variance per unit work for interior physics.
+  kProbabilistic = 0,
+  /// Classical deterministic splitting at *exterior* interfaces: the
+  /// transmitted fraction (1-R)·W escapes and is tallied, the reflected
+  /// fraction R·W continues inside. Interior interfaces remain
+  /// probabilistic (a single-packet tracker cannot fork without a stack).
+  kClassical,
+};
+
+BoundaryModel parse_boundary_model(const std::string& name);
+std::string to_string(BoundaryModel model);
+
+struct KernelConfig {
+  LayeredMedium medium;
+  SourceSpec source;
+  std::optional<DetectorSpec> detector;
+  BoundaryModel boundary_model = BoundaryModel::kProbabilistic;
+  RouletteSpec roulette;
+
+  /// Tally shape. `layer_count` is overridden from `medium` by the kernel.
+  TallyConfig tally;
+
+  /// When true the path grid accumulates every photon's path, not only
+  /// detected ones (used for Fig. 4's all-paths picture).
+  bool record_all_paths = false;
+
+  /// Safety valve against pathological configurations (e.g. a lossless
+  /// medium between mirrors). Per photon.
+  std::uint64_t max_interactions = 1'000'000;
+
+  void validate() const;
+};
+
+/// One photon's recorded trajectory, for the example programs that draw
+/// individual paths.
+struct PhotonTrace {
+  std::vector<util::Vec3> vertices;
+  PhotonFate fate = PhotonFate::kInFlight;
+  double final_weight = 0.0;
+  double optical_pathlength = 0.0;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig config);
+
+  /// Tally matching this kernel's configuration (layer count, grids).
+  SimulationTally make_tally() const;
+
+  /// Simulate `photon_count` packets, accumulating into `tally`.
+  void run(std::uint64_t photon_count, util::Xoshiro256pp& rng,
+           SimulationTally& tally) const;
+
+  /// Simulate one photon and capture its trajectory vertices.
+  PhotonTrace trace(util::Xoshiro256pp& rng,
+                    std::size_t max_vertices = 100000) const;
+
+  const KernelConfig& config() const noexcept { return config_; }
+
+ private:
+  void simulate_one(util::Xoshiro256pp& rng, SimulationTally& tally,
+                    PathRecorder& recorder,
+                    std::vector<util::Vec3>* trace_out,
+                    std::size_t max_vertices) const;
+
+  /// Handle an interface crossing at the current photon position.
+  /// Returns true if the photon left the tissue (fate set).
+  bool handle_boundary(PhotonPacket& photon, bool downward,
+                       util::Xoshiro256pp& rng, SimulationTally& tally,
+                       PathRecorder& recorder) const;
+
+  /// Tally an escape through the top surface; returns true when the exit
+  /// point and pathlength gate put the weight on the detector.
+  bool finish_exit_top(PhotonPacket& photon, double weight,
+                       SimulationTally& tally, PathRecorder& recorder) const;
+  void finish_exit_bottom(PhotonPacket& photon, double weight,
+                          SimulationTally& tally) const;
+
+  KernelConfig config_;
+  Source source_;
+};
+
+}  // namespace phodis::mc

@@ -1,0 +1,87 @@
+// Layered slab geometry: the tissue is a stack of horizontal layers,
+// infinite in x and y, bounded in z, with ambient media above (z < 0,
+// where the source and detector sit) and below. This is the geometry of
+// the paper's head model (Table 1) and of the MCML family of codes the
+// paper builds on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mc/optical.hpp"
+
+namespace phodis::mc {
+
+/// One tissue layer: a name (for reports), optical properties, and its
+/// z-extent [z0, z1) in millimetres measured downward from the surface.
+struct Layer {
+  std::string name;
+  OpticalProperties props;
+  double z0 = 0.0;  ///< top depth [mm]
+  double z1 = 0.0;  ///< bottom depth [mm]; may be +inf for the last layer
+
+  double thickness() const noexcept { return z1 - z0; }
+};
+
+/// An immutable stack of layers plus the ambient refractive indices.
+/// Built via LayeredMediumBuilder so that the contiguity invariant
+/// (layer k+1 starts where layer k ends; first layer starts at z = 0)
+/// always holds.
+class LayeredMedium {
+ public:
+  /// Index of the layer containing depth z, where z in [0, bottom()).
+  /// Depths exactly on an interface belong to the layer below it.
+  std::size_t layer_at(double z) const noexcept;
+
+  const Layer& layer(std::size_t i) const { return layers_.at(i); }
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+
+  double n_above() const noexcept { return n_above_; }
+  double n_below() const noexcept { return n_below_; }
+
+  /// Depth of the bottom of the deepest layer (+inf for semi-infinite).
+  double bottom() const noexcept;
+  bool semi_infinite() const noexcept;
+
+  /// Refractive index of the medium adjacent to layer `i` in direction
+  /// `downward` (the next layer, or an ambient medium at the stack edges).
+  double neighbour_index(std::size_t i, bool downward) const noexcept;
+
+  /// Total thickness of finite layers [mm].
+  double total_thickness() const noexcept;
+
+ private:
+  friend class LayeredMediumBuilder;
+  std::vector<Layer> layers_;
+  double n_above_ = 1.0;
+  double n_below_ = 1.0;
+};
+
+/// Fluent builder enforcing the stacking invariants.
+class LayeredMediumBuilder {
+ public:
+  LayeredMediumBuilder& ambient_above(double n);
+  LayeredMediumBuilder& ambient_below(double n);
+
+  /// Append a finite layer of the given thickness [mm].
+  LayeredMediumBuilder& add_layer(std::string name,
+                                  const OpticalProperties& props,
+                                  double thickness_mm);
+
+  /// Append a semi-infinite final layer. No further layers may be added.
+  LayeredMediumBuilder& add_semi_infinite_layer(std::string name,
+                                                const OpticalProperties& props);
+
+  /// Validates (at least one layer, no layer after a semi-infinite one)
+  /// and produces the medium.
+  LayeredMedium build() const;
+
+ private:
+  LayeredMedium medium_;
+  double cursor_z_ = 0.0;
+  bool closed_ = false;
+};
+
+}  // namespace phodis::mc

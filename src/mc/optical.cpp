@@ -1,0 +1,40 @@
+#include "mc/optical.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace phodis::mc {
+
+double OpticalProperties::mean_free_path() const noexcept {
+  const double t = mut();
+  return t > 0.0 ? 1.0 / t : std::numeric_limits<double>::infinity();
+}
+
+double OpticalProperties::mueff() const noexcept {
+  return std::sqrt(3.0 * mua * (mua + mus_reduced()));
+}
+
+void OpticalProperties::validate(const std::string& context) const {
+  auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("OpticalProperties" +
+                                (context.empty() ? "" : " (" + context + ")") +
+                                ": " + what);
+  };
+  if (!(mua >= 0.0) || !std::isfinite(mua)) fail("mua must be >= 0");
+  if (!(mus >= 0.0) || !std::isfinite(mus)) fail("mus must be >= 0");
+  if (!(g > -1.0 && g < 1.0)) fail("g must lie in (-1, 1)");
+  if (!(n >= 1.0) || !std::isfinite(n)) fail("n must be >= 1");
+}
+
+OpticalProperties OpticalProperties::from_reduced(double mua, double mus_prime,
+                                                  double g, double n) {
+  OpticalProperties props;
+  props.mua = mua;
+  props.g = g;
+  props.n = n;
+  props.mus = (1.0 - g) > 0.0 ? mus_prime / (1.0 - g) : mus_prime;
+  props.validate("from_reduced");
+  return props;
+}
+
+}  // namespace phodis::mc

@@ -1,0 +1,50 @@
+// Optical properties of a participating medium, in the units the paper's
+// Table 1 uses: inverse millimetres for the interaction coefficients and
+// millimetres for geometry.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace phodis::mc {
+
+/// Bulk optical properties at one wavelength (NIR band for this paper).
+struct OpticalProperties {
+  double mua = 0.0;  ///< absorption coefficient µa [1/mm]
+  double mus = 0.0;  ///< scattering coefficient µs [1/mm]
+  double g = 0.0;    ///< scattering anisotropy, mean cosine, in (-1, 1)
+  double n = 1.0;    ///< refractive index
+
+  /// Total interaction coefficient µt = µa + µs [1/mm].
+  double mut() const noexcept { return mua + mus; }
+
+  /// Single-scattering albedo µs/µt; 0 for a purely absorbing medium.
+  double albedo() const noexcept {
+    const double t = mut();
+    return t > 0.0 ? mus / t : 0.0;
+  }
+
+  /// Reduced (transport) scattering coefficient µs' = µs(1-g) [1/mm] —
+  /// the quantity the paper's Table 1 reports.
+  double mus_reduced() const noexcept { return mus * (1.0 - g); }
+
+  /// Mean free path 1/µt [mm]; infinity in vacuum-like media.
+  double mean_free_path() const noexcept;
+
+  /// Effective attenuation coefficient of diffusion theory,
+  /// µeff = sqrt(3 µa (µa + µs')) [1/mm].
+  double mueff() const noexcept;
+
+  /// Throws std::invalid_argument when any field is outside its physical
+  /// range (µa,µs >= 0, -1 < g < 1, n >= 1).
+  void validate(const std::string& context = "") const;
+
+  /// Build from the reduced coefficient as printed in Table 1:
+  /// µs = µs' / (1-g).
+  static OpticalProperties from_reduced(double mua, double mus_prime, double g,
+                                        double n);
+
+  bool operator==(const OpticalProperties&) const = default;
+};
+
+}  // namespace phodis::mc

@@ -1,0 +1,31 @@
+// Scattering-angle sampling. Tissue phase functions are modelled with the
+// Henyey–Greenstein distribution whose single parameter g is the mean
+// cosine of the scattering angle — the same g the paper's Table 1 footnote
+// defines (g = -1 back-scattering, 0 isotropic, 1 forward).
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace phodis::mc {
+
+/// Sample cos(θ) from the Henyey–Greenstein phase function with anisotropy
+/// g in (-1, 1). For g = 0 this reduces to isotropic sampling.
+double sample_hg_cosine(double g, util::Xoshiro256pp& rng) noexcept;
+
+/// The Henyey–Greenstein probability density p(cosθ) — used by tests and
+/// by the analysis module, not by the kernel hot path.
+double hg_pdf(double g, double cos_theta) noexcept;
+
+/// Rotate the unit direction `dir` by polar angle θ (given as cos θ) and a
+/// uniformly random azimuth φ, using the standard direction-cosine update
+/// (special-cased near |dir.z| = 1 where the general formula degenerates).
+util::Vec3 deflect(const util::Vec3& dir, double cos_theta,
+                   util::Xoshiro256pp& rng) noexcept;
+
+/// Full scattering step: sample HG polar angle for anisotropy g and a
+/// uniform azimuth, return the new unit direction.
+util::Vec3 scatter_direction(const util::Vec3& dir, double g,
+                             util::Xoshiro256pp& rng) noexcept;
+
+}  // namespace phodis::mc

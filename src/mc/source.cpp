@@ -1,0 +1,90 @@
+#include "mc/source.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace phodis::mc {
+
+SourceType parse_source_type(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "delta" || lower == "laser" || lower == "pencil") {
+    return SourceType::kDelta;
+  }
+  if (lower == "gaussian" || lower == "gauss") return SourceType::kGaussian;
+  if (lower == "uniform" || lower == "flat" || lower == "flattop") {
+    return SourceType::kUniform;
+  }
+  throw std::invalid_argument("unknown source type: " + name);
+}
+
+std::string to_string(SourceType type) {
+  switch (type) {
+    case SourceType::kDelta:
+      return "delta";
+    case SourceType::kGaussian:
+      return "gaussian";
+    case SourceType::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+void SourceSpec::validate() const {
+  if (type != SourceType::kDelta && !(radius_mm > 0.0)) {
+    throw std::invalid_argument("SourceSpec: non-delta source needs radius > 0");
+  }
+  if (half_angle_deg < 0.0 || half_angle_deg >= 90.0) {
+    throw std::invalid_argument(
+        "SourceSpec: half angle must be in [0, 90) degrees");
+  }
+}
+
+Source::Source(const SourceSpec& spec) : spec_(spec) { spec_.validate(); }
+
+util::Vec3 Source::sample_position(util::Xoshiro256pp& rng) const {
+  switch (spec_.type) {
+    case SourceType::kDelta:
+      return {0.0, 0.0, 0.0};
+    case SourceType::kGaussian: {
+      // Irradiance I(r) ∝ exp(-2 r^2 / w^2) with w the 1/e^2 radius:
+      // each Cartesian coordinate is N(0, w/2).
+      const double sigma = 0.5 * spec_.radius_mm;
+      return {sigma * rng.normal(), sigma * rng.normal(), 0.0};
+    }
+    case SourceType::kUniform: {
+      // Uniform over a disc: r = R sqrt(u) gives uniform area density.
+      const double r = spec_.radius_mm * std::sqrt(rng.uniform());
+      const double phi = 2.0 * std::numbers::pi * rng.uniform();
+      return {r * std::cos(phi), r * std::sin(phi), 0.0};
+    }
+  }
+  return {0.0, 0.0, 0.0};
+}
+
+util::Vec3 Source::sample_direction(util::Xoshiro256pp& rng) const {
+  if (spec_.half_angle_deg == 0.0) return {0.0, 0.0, 1.0};
+  // Uniform in solid angle over the cone: cos(theta) uniform in
+  // [cos(theta_max), 1].
+  const double cos_max =
+      std::cos(spec_.half_angle_deg * std::numbers::pi / 180.0);
+  const double cos_theta = cos_max + (1.0 - cos_max) * rng.uniform();
+  const double sin_theta =
+      std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+  const double phi = 2.0 * std::numbers::pi * rng.uniform();
+  return {sin_theta * std::cos(phi), sin_theta * std::sin(phi), cos_theta};
+}
+
+PhotonPacket Source::launch(util::Xoshiro256pp& rng) const {
+  PhotonPacket photon;
+  photon.pos = sample_position(rng);
+  photon.dir = sample_direction(rng);
+  photon.weight = 1.0;
+  photon.layer = 0;
+  return photon;
+}
+
+}  // namespace phodis::mc

@@ -1,0 +1,61 @@
+// Light sources. The paper's feature list names three illumination
+// footprints — delta (laser), Gaussian, and uniform — all normally incident
+// on the surface at the origin. The footprint is what §4 of the paper varies
+// to show its effect on the photon distribution in the head.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mc/photon.hpp"
+#include "util/rng.hpp"
+
+namespace phodis::mc {
+
+enum class SourceType : std::uint8_t {
+  kDelta = 0,  ///< infinitesimal pencil beam at the origin (laser)
+  kGaussian,   ///< Gaussian irradiance profile, `radius` = 1/e^2 beam radius
+  kUniform,    ///< uniform (flat-top) disc of the given radius
+};
+
+/// Parse "delta"/"laser", "gaussian", "uniform"/"flat" (case-insensitive);
+/// throws std::invalid_argument otherwise.
+SourceType parse_source_type(const std::string& name);
+std::string to_string(SourceType type);
+
+struct SourceSpec {
+  SourceType type = SourceType::kDelta;
+  double radius_mm = 0.0;  ///< footprint parameter; ignored for kDelta
+
+  /// Half-angle of the launch cone in degrees (0 = collimated along +z).
+  /// Models the numerical aperture of a source fibre: directions are
+  /// sampled uniformly in solid angle within the cone.
+  double half_angle_deg = 0.0;
+
+  /// Validates (radius > 0 for non-delta types; 0 <= half angle < 90).
+  void validate() const;
+};
+
+/// Samples initial photon positions for a source spec. Direction is always
+/// +z (normal incidence), weight 1; the kernel applies specular loss.
+class Source {
+ public:
+  explicit Source(const SourceSpec& spec);
+
+  /// Launch position on the z = 0 surface.
+  util::Vec3 sample_position(util::Xoshiro256pp& rng) const;
+
+  /// Launch direction: +z when collimated, otherwise uniform in solid
+  /// angle within the configured cone.
+  util::Vec3 sample_direction(util::Xoshiro256pp& rng) const;
+
+  /// Fresh photon packet at a sampled position and direction.
+  PhotonPacket launch(util::Xoshiro256pp& rng) const;
+
+  const SourceSpec& spec() const noexcept { return spec_; }
+
+ private:
+  SourceSpec spec_;
+};
+
+}  // namespace phodis::mc

@@ -1,0 +1,112 @@
+// Portable little-endian byte serialisation.
+//
+// The paper's platform ships task specs and partial results between the
+// DataManager and clients as serialised Java objects; our reproduction
+// moves explicit byte buffers through the transport so the full
+// encode → transfer → decode path is exercised even in-process.
+// ByteReader is bounds-checked and throws on malformed input (a worker must
+// never crash the server).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace phodis::util {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { append_raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { append_raw(&v, sizeof v); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    static_assert(sizeof(double) == 8);
+    append_raw(&v, sizeof v);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (double x : v) f64(x);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void append_raw(const void* src, std::size_t len) {
+    static_assert(std::endian::native == std::endian::little,
+                  "serialisation assumes little-endian host");
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() { return read_raw<std::uint8_t>(); }
+  std::uint32_t u32() { return read_raw<std::uint32_t>(); }
+  std::uint64_t u64() { return read_raw<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return read_raw<double>(); }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint64_t len = u64();
+    require(len);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                  static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return s;
+  }
+
+  std::vector<double> f64_vec() {
+    const std::uint64_t len = u64();
+    require(len * sizeof(double));
+    std::vector<double> v(static_cast<std::size_t>(len));
+    std::memcpy(v.data(), buf_.data() + pos_,
+                static_cast<std::size_t>(len) * sizeof(double));
+    pos_ += static_cast<std::size_t>(len) * sizeof(double);
+    return v;
+  }
+
+  bool exhausted() const noexcept { return pos_ == buf_.size(); }
+  std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T read_raw() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::uint64_t len) const {
+    // Compare against the remaining byte count (no pos_ + len, which can
+    // wrap around for hostile length prefixes).
+    if (len > buf_.size() - pos_) {
+      throw std::out_of_range("ByteReader: truncated buffer");
+    }
+  }
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace phodis::util

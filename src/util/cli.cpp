@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace phodis::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--key value` when the next token is not itself an option; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "true";
+    }
+  }
+}
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = options_.find(key);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+bool CliArgs::get_flag(const std::string& key) const {
+  auto it = options_.find(key);
+  if (it == options_.end()) return false;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+bool CliArgs::has(const std::string& key) const {
+  return options_.count(key) != 0;
+}
+
+}  // namespace phodis::util

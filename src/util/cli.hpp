@@ -1,0 +1,38 @@
+// Tiny command-line option parser used by examples and benches.
+// Supports `--key value`, `--key=value`, and boolean `--flag` forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phodis::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Value of --key, or fallback when absent.
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  /// True when --key appears (with no value or any value other than
+  /// "false"/"0"/"no").
+  bool get_flag(const std::string& key) const;
+
+  bool has(const std::string& key) const;
+
+  /// Non-option arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace phodis::util

@@ -1,0 +1,72 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace phodis::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::header(std::initializer_list<std::string> columns) {
+  header(std::vector<std::string>(columns));
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (header_written_) {
+    throw std::logic_error("CsvWriter: header written twice");
+  }
+  columns_ = columns.size();
+  header_written_ = true;
+  write_cells(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!header_written_) {
+    throw std::logic_error("CsvWriter: row before header");
+  }
+  if (cells.size() != columns_) {
+    throw std::logic_error("CsvWriter: row width mismatch");
+  }
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<double> cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(format_double(v));
+  row(text);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string format_double(double value, int precision) {
+  std::ostringstream stream;
+  stream.precision(precision);
+  stream << value;
+  return stream.str();
+}
+
+}  // namespace phodis::util

@@ -1,0 +1,48 @@
+// CSV writer for experiment outputs. Benches emit both a human-readable
+// table (util/table.hpp) and machine-readable CSV next to it, so figures can
+// be re-plotted without re-running the simulation.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace phodis::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header row. Must be called before any data row (enforced).
+  void header(std::initializer_list<std::string> columns);
+  void header(const std::vector<std::string>& columns);
+
+  /// Append one data row; column count must match the header.
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<double> cells);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Quote a cell if it contains separators/quotes (RFC-4180 style).
+  static std::string escape(const std::string& cell);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Format a double compactly for CSV/tables (up to 6 significant digits,
+/// no trailing zeros).
+std::string format_double(double value, int precision = 6);
+
+}  // namespace phodis::util

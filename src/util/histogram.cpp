@@ -1,0 +1,125 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace phodis::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), inv_width_(0.0), counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  inv_width_ = static_cast<double>(bins) / (hi - lo);
+}
+
+void Histogram::add(double value, double weight) noexcept {
+  if (value < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (value >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((value - lo_) * inv_width_);
+  idx = std::min(idx, counts_.size() - 1);  // guard fp rounding at hi edge
+  counts_[idx] += weight;
+  sum_w_ += weight;
+  sum_wx_ += weight * value;
+  sum_wxx_ += weight * value * value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  sum_w_ += other.sum_w_;
+  sum_wx_ += other.sum_wx_;
+  sum_wxx_ += other.sum_wxx_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i) / inv_width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + static_cast<double>(i + 1) / inv_width_;
+}
+
+double Histogram::bin_center(std::size_t i) const noexcept {
+  return 0.5 * (bin_lo(i) + bin_hi(i));
+}
+
+double Histogram::total() const noexcept {
+  return total_in_range() + underflow_ + overflow_;
+}
+
+double Histogram::total_in_range() const noexcept { return sum_w_; }
+
+double Histogram::mean() const noexcept {
+  return sum_w_ > 0.0 ? sum_wx_ / sum_w_ : 0.0;
+}
+
+double Histogram::stddev() const noexcept {
+  if (sum_w_ <= 0.0) return 0.0;
+  const double m = sum_wx_ / sum_w_;
+  const double var = std::max(0.0, sum_wxx_ / sum_w_ - m * m);
+  return std::sqrt(var);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * sum_w_;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (cumulative + counts_[i] >= target && counts_[i] > 0.0) {
+      const double frac = (target - cumulative) / counts_[i];
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    cumulative += counts_[i];
+  }
+  return hi_;
+}
+
+void Histogram::serialize(ByteWriter& writer) const {
+  writer.f64(lo_);
+  writer.f64(hi_);
+  writer.f64_vec(counts_);
+  writer.f64(sum_w_);
+  writer.f64(sum_wx_);
+  writer.f64(sum_wxx_);
+  writer.f64(underflow_);
+  writer.f64(overflow_);
+}
+
+Histogram Histogram::deserialize(ByteReader& reader) {
+  const double lo = reader.f64();
+  const double hi = reader.f64();
+  std::vector<double> counts = reader.f64_vec();
+  if (counts.empty()) throw std::invalid_argument("Histogram: empty payload");
+  Histogram h(lo, hi, counts.size());
+  h.counts_ = std::move(counts);
+  h.sum_w_ = reader.f64();
+  h.sum_wx_ = reader.f64();
+  h.sum_wxx_ = reader.f64();
+  h.underflow_ = reader.f64();
+  h.overflow_ = reader.f64();
+  return h;
+}
+
+double Histogram::mode() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] > counts_[best]) best = i;
+  }
+  return bin_center(best);
+}
+
+}  // namespace phodis::util

@@ -1,0 +1,69 @@
+// Fixed-bin 1-D histogram with under/overflow tracking. Used for pathlength
+// distributions, penetration-depth profiles and RNG uniformity tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace phodis::util {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) uniformly; values outside land in the
+  /// underflow/overflow counters. Requires bins >= 1 and hi > lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0) noexcept;
+
+  /// Merge another histogram with identical binning (throws otherwise).
+  void merge(const Histogram& other);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  double bin_center(std::size_t i) const noexcept;
+  double count(std::size_t i) const noexcept { return counts_[i]; }
+
+  double underflow() const noexcept { return underflow_; }
+  double overflow() const noexcept { return overflow_; }
+  /// Total weight including under/overflow.
+  double total() const noexcept;
+  /// Total weight inside the binned range.
+  double total_in_range() const noexcept;
+
+  /// Weighted mean of in-range samples (bin centers); 0 when empty.
+  double mean() const noexcept;
+  /// Weighted standard deviation of in-range samples; 0 when empty.
+  double stddev() const noexcept;
+  /// Value below which `q` of the in-range weight lies (q in [0,1]),
+  /// linearly interpolated within the containing bin.
+  double quantile(double q) const noexcept;
+  /// Center of the fullest bin.
+  double mode() const noexcept;
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+  /// Byte serialisation for shipping partial histograms between workers
+  /// and the DataManager.
+  void serialize(ByteWriter& writer) const;
+  static Histogram deserialize(ByteReader& reader);
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_width_;
+  std::vector<double> counts_;
+  // First/second weighted moments of the raw in-range samples, so mean and
+  // stddev do not suffer bin-quantisation error.
+  double sum_w_ = 0.0;
+  double sum_wx_ = 0.0;
+  double sum_wxx_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+}  // namespace phodis::util

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Thread-safe, writes to stderr, level settable
+// globally (benches run quiet, examples run chatty).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace phodis::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Unknown strings map to kInfo.
+LogLevel parse_log_level(const std::string& name) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+/// RAII line builder: collects a message via operator<< and emits it on
+/// destruction, holding the sink mutex only for the final write.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace phodis::util

@@ -1,0 +1,66 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace phodis::util {
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  // Expand `a` through one SplitMix64 round, fold in `b` via an odd
+  // multiplicative spread, then finalise with two more rounds. Structured
+  // low-entropy input pairs (small a, small b) stay collision-free.
+  SplitMix64 first(a);
+  const std::uint64_t expanded = first.next();
+  SplitMix64 second(expanded ^ (b * 0x9E3779B97F4A7C15ULL));
+  second.next();
+  return second.next();
+}
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+Xoshiro256pp Xoshiro256pp::for_task(std::uint64_t base_seed,
+                                    std::uint64_t task_id) noexcept {
+  return Xoshiro256pp(mix64(base_seed, task_id));
+}
+
+void Xoshiro256pp::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> t{};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        t[0] ^= s_[0];
+        t[1] ^= s_[1];
+        t[2] ^= s_[2];
+        t[3] ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_ = t;
+}
+
+double Xoshiro256pp::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+}  // namespace phodis::util

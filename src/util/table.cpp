@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace phodis::util {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::logic_error("TextTable: row wider than header");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::vector<double>& cells,
+                                int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) text.push_back(format_double(v, precision));
+  add_row(std::move(text));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream stream;
+  print(stream);
+  return stream.str();
+}
+
+}  // namespace phodis::util

@@ -1,0 +1,34 @@
+// Aligned plain-text table printer: the benches render the paper's tables
+// and figure series with it so the terminal output mirrors the paper layout.
+#pragma once
+
+#include <ostream>
+
+#include "util/csv.hpp"
+#include <string>
+#include <vector>
+
+namespace phodis::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; short rows are padded with empty cells, long rows throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: a row of doubles formatted via format_double.
+  void add_row_numeric(const std::vector<double>& cells, int precision = 6);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with a header underline and 2-space column gaps.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace phodis::util

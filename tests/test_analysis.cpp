@@ -1,0 +1,298 @@
+// Tests for the analysis module: diffusion theory helpers, banana
+// metrics, grid thresholding, beam spread, and the renderers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/banana.hpp"
+#include "analysis/diffusion.hpp"
+#include "analysis/render.hpp"
+#include "mc/presets.hpp"
+
+namespace phodis::analysis {
+namespace {
+
+mc::OpticalProperties white_matter() {
+  return mc::OpticalProperties::from_reduced(0.014, 9.1, 0.9, 1.4);
+}
+
+// ---------- diffusion --------------------------------------------------------
+
+TEST(Diffusion, CoefficientAndMueff) {
+  const mc::OpticalProperties p = white_matter();
+  const double d = diffusion_coefficient(p);
+  EXPECT_NEAR(d, 1.0 / (3.0 * (0.014 + 9.1)), 1e-12);
+  EXPECT_NEAR(effective_attenuation(p), std::sqrt(0.014 / d), 1e-12);
+  EXPECT_NEAR(effective_attenuation(p), p.mueff(), 1e-12);
+}
+
+TEST(Diffusion, RejectsNonInteractingMedium) {
+  mc::OpticalProperties vacuum;
+  EXPECT_THROW(diffusion_coefficient(vacuum), std::invalid_argument);
+}
+
+TEST(Diffusion, InfiniteMediumFluenceDecaysExponentially) {
+  const mc::OpticalProperties p = white_matter();
+  const double mueff = effective_attenuation(p);
+  const double phi_1 = infinite_medium_fluence(p, 5.0);
+  const double phi_2 = infinite_medium_fluence(p, 10.0);
+  // φ(r) r should decay as exp(-µeff r).
+  EXPECT_NEAR(std::log((phi_1 * 5.0) / (phi_2 * 10.0)), mueff * 5.0, 1e-9);
+  EXPECT_THROW(infinite_medium_fluence(p, 0.0), std::invalid_argument);
+}
+
+TEST(Diffusion, ReflectanceDecreasesWithDistance) {
+  const mc::OpticalProperties p = white_matter();
+  double prev = semi_infinite_reflectance(p, 1.0);
+  for (double rho : {2.0, 5.0, 10.0, 20.0}) {
+    const double r = semi_infinite_reflectance(p, rho);
+    EXPECT_LT(r, prev);
+    EXPECT_GT(r, 0.0);
+    prev = r;
+  }
+}
+
+TEST(Diffusion, ReflectanceFallsFasterInMoreAbsorbingMedium) {
+  mc::OpticalProperties low = white_matter();
+  mc::OpticalProperties high = white_matter();
+  high.mua = 10.0 * low.mua;
+  const double ratio_low = semi_infinite_reflectance(low, 20.0) /
+                           semi_infinite_reflectance(low, 10.0);
+  const double ratio_high = semi_infinite_reflectance(high, 20.0) /
+                            semi_infinite_reflectance(high, 10.0);
+  EXPECT_LT(ratio_high, ratio_low);
+}
+
+TEST(Diffusion, DpfIsLargeForHighlyScatteringTissue) {
+  // The paper's motivation: detected photons travel much further than the
+  // source-detector separation. For white matter DPF >> 1.
+  const double dpf = differential_pathlength_factor(white_matter(), 30.0);
+  EXPECT_GT(dpf, 5.0);
+  EXPECT_LT(dpf, 50.0);
+}
+
+TEST(Diffusion, MeanPathlengthGrowsWithSeparation) {
+  const mc::OpticalProperties p = white_matter();
+  double prev = 0.0;
+  for (double rho : {10.0, 20.0, 30.0, 40.0}) {
+    const double path = mean_pathlength_semi_infinite(p, rho);
+    EXPECT_GT(path, prev);
+    prev = path;
+  }
+}
+
+TEST(Diffusion, PenetrationDepthMatchesInverseMueff) {
+  const mc::OpticalProperties p = white_matter();
+  EXPECT_NEAR(penetration_depth(p), 1.0 / p.mueff(), 1e-12);
+  // CSF-like low-scattering tissue penetrates deeper than white matter.
+  const mc::OpticalProperties csf =
+      mc::OpticalProperties::from_reduced(0.004, 0.25, 0.9, 1.4);
+  EXPECT_GT(penetration_depth(csf), penetration_depth(p));
+}
+
+// ---------- banana metrics ----------------------------------------------------
+
+/// Build a synthetic banana: an arc of deposits from (0,0,0) to (20,0,0)
+/// dipping to z = 8 mm at the middle.
+mc::VoxelGrid3D synthetic_banana() {
+  mc::GridSpec spec;
+  spec.x_min = -5.0;
+  spec.x_max = 25.0;
+  spec.y_min = -5.0;
+  spec.y_max = 5.0;
+  spec.z_min = 0.0;
+  spec.z_max = 15.0;
+  spec.nx = 60;
+  spec.ny = 20;
+  spec.nz = 30;
+  mc::VoxelGrid3D grid(spec);
+  for (int i = 0; i <= 200; ++i) {
+    const double t = i / 200.0;
+    const double x = 20.0 * t;
+    const double z = 8.0 * std::sin(M_PI * t) + 0.25;
+    grid.deposit({x, 0.0, z}, 1.0);
+  }
+  return grid;
+}
+
+TEST(Banana, SyntheticArcIsBananaShaped) {
+  const mc::VoxelGrid3D grid = synthetic_banana();
+  const BananaMetrics metrics = banana_metrics(grid, 20.0);
+  EXPECT_TRUE(metrics.is_banana_shaped());
+  EXPECT_GT(metrics.midpoint_mean_depth_mm, 6.0);
+  EXPECT_LT(metrics.endpoint_mean_depth_mm, 3.0);
+  EXPECT_LT(metrics.asymmetry, 0.1);
+  EXPECT_GT(metrics.between_fraction, 0.9);
+}
+
+TEST(Banana, UniformSlabIsNotBananaShaped) {
+  mc::GridSpec spec;
+  spec.x_min = -5.0;
+  spec.x_max = 25.0;
+  spec.y_min = -5.0;
+  spec.y_max = 5.0;
+  spec.z_min = 0.0;
+  spec.z_max = 15.0;
+  spec.nx = 30;
+  spec.ny = 10;
+  spec.nz = 15;
+  mc::VoxelGrid3D grid(spec);
+  for (std::size_t flat = 0; flat < spec.voxel_count(); ++flat) {
+    grid.deposit_index(flat, 1.0);
+  }
+  const BananaMetrics metrics = banana_metrics(grid, 20.0);
+  // Mean depth is the same everywhere: not deeper in the middle.
+  EXPECT_FALSE(metrics.midpoint_mean_depth_mm >
+               metrics.endpoint_mean_depth_mm + 0.5);
+}
+
+TEST(Banana, EmptyGridGivesZeroMetrics) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(10, 10.0, 10.0));
+  const BananaMetrics metrics = banana_metrics(grid, 10.0);
+  EXPECT_DOUBLE_EQ(metrics.between_fraction, 0.0);
+  EXPECT_FALSE(metrics.is_banana_shaped());
+}
+
+TEST(Banana, ProfileCoversAllColumns) {
+  const mc::VoxelGrid3D grid = synthetic_banana();
+  const BananaMetrics metrics = banana_metrics(grid, 20.0);
+  EXPECT_EQ(metrics.profile.size(), grid.spec().nx);
+  // Columns are ordered left to right.
+  for (std::size_t i = 1; i < metrics.profile.size(); ++i) {
+    EXPECT_GT(metrics.profile[i].x_mm, metrics.profile[i - 1].x_mm);
+  }
+}
+
+// ---------- thresholding ------------------------------------------------------
+
+TEST(Threshold, RemovesWeakVoxelsKeepsStrong) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(4, 4.0, 4.0));
+  grid.deposit_index(0, 100.0);
+  grid.deposit_index(1, 1.0);
+  grid.deposit_index(2, 60.0);
+  const double kept = threshold_grid(grid, 0.5);  // cutoff 50
+  EXPECT_DOUBLE_EQ(grid.at_flat(0), 100.0);
+  EXPECT_DOUBLE_EQ(grid.at_flat(1), 0.0);
+  EXPECT_DOUBLE_EQ(grid.at_flat(2), 60.0);
+  EXPECT_NEAR(kept, 160.0 / 161.0, 1e-12);
+}
+
+TEST(Threshold, ZeroFractionKeepsEverything) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(4, 4.0, 4.0));
+  grid.deposit_index(3, 2.0);
+  grid.deposit_index(7, 0.5);
+  EXPECT_DOUBLE_EQ(threshold_grid(grid, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(grid.total(), 2.5);
+}
+
+TEST(Threshold, EmptyGridReturnsZero) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(4, 4.0, 4.0));
+  EXPECT_DOUBLE_EQ(threshold_grid(grid, 0.5), 0.0);
+}
+
+// ---------- beam spread -------------------------------------------------------
+
+TEST(BeamSpread, NarrowColumnHasSmallRadius) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(21, 10.0, 10.0));
+  // Deposit along the z axis only (a perfect pencil).
+  for (double z = 0.25; z < 10.0; z += 0.5) {
+    grid.deposit({0.0, 0.0, z}, 1.0);
+  }
+  const auto series = beam_spread_by_depth(grid);
+  ASSERT_EQ(series.size(), 21u);
+  for (const auto& point : series) {
+    if (point.total_weight > 0.0) {
+      // All weight is in the central voxel whose centre is at r = 0.
+      EXPECT_NEAR(point.rms_radius_mm, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(BeamSpread, WideDiskHasLargerRadiusThanNarrowDisk) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(21, 10.0, 10.0));
+  // Narrow ring at shallow depth, wide ring deeper.
+  for (double phi = 0.0; phi < 6.28; phi += 0.1) {
+    grid.deposit({1.0 * std::cos(phi), 1.0 * std::sin(phi), 1.0}, 1.0);
+    grid.deposit({6.0 * std::cos(phi), 6.0 * std::sin(phi), 9.0}, 1.0);
+  }
+  const auto series = beam_spread_by_depth(grid);
+  double shallow = 0.0;
+  double deep = 0.0;
+  for (const auto& point : series) {
+    if (point.total_weight == 0.0) continue;
+    if (point.z_mm < 5.0) shallow = point.rms_radius_mm;
+    else deep = point.rms_radius_mm;
+  }
+  EXPECT_GT(deep, shallow);
+  EXPECT_NEAR(shallow, 1.0, 0.5);
+  EXPECT_NEAR(deep, 6.0, 0.8);
+}
+
+// ---------- rendering ---------------------------------------------------------
+
+TEST(Render, AsciiSliceHasExpectedShape) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(30, 15.0, 15.0));
+  // Deposit at the centre of a definite voxel row and render that row
+  // (y = 0 sits exactly on a voxel boundary of an even grid).
+  grid.deposit({0.0, 0.5, 5.0}, 10.0);
+  RenderOptions options;
+  options.y_mm = 0.5;
+  options.max_cols = 30;
+  options.max_rows = 30;
+  const std::string art = render_ascii_slice(grid, options);
+  // 30 rows of 30 chars + newline each.
+  EXPECT_EQ(art.size(), 30u * 31u);
+  // The hot voxel renders as the densest ramp character.
+  EXPECT_NE(art.find('@'), std::string::npos);
+}
+
+TEST(Render, EmptyGridRendersBlank) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(10, 5.0, 5.0));
+  const std::string art = render_ascii_slice(grid);
+  for (char c : art) {
+    EXPECT_TRUE(c == ' ' || c == '\n');
+  }
+}
+
+TEST(Render, DownsamplesWideGrids) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(200, 10.0, 10.0));
+  RenderOptions options;
+  options.max_cols = 50;
+  options.max_rows = 25;
+  const std::string art = render_ascii_slice(grid, options);
+  EXPECT_EQ(art.size(), 25u * 51u);
+}
+
+TEST(Render, WritesPgmFile) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(16, 8.0, 8.0));
+  grid.deposit({0, 0, 4}, 5.0);
+  const std::string path = "/tmp/phodis_test_render.pgm";
+  write_pgm_slice(grid, path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P5");
+  std::remove(path.c_str());
+}
+
+TEST(Render, WritesCsvSlice) {
+  mc::VoxelGrid3D grid(mc::GridSpec::cube(8, 4.0, 4.0));
+  grid.deposit({0, 0, 2}, 3.0);
+  const std::string path = "/tmp/phodis_test_slice.csv";
+  write_csv_slice(grid, path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x_mm,z_mm,value");
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 8 * 8);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace phodis::analysis

@@ -1,0 +1,166 @@
+// Tests for MonteCarloApp: the headline reproducibility property (serial
+// == distributed, bitwise, under any worker count and fault injection)
+// plus execution-option handling.
+#include <gtest/gtest.h>
+
+#include "core/app.hpp"
+#include "mc/presets.hpp"
+
+namespace phodis::core {
+namespace {
+
+SimulationSpec small_spec(std::uint64_t photons = 4000) {
+  SimulationSpec spec;
+  // Light medium so the test suite stays fast.
+  mc::OpticalProperties p;
+  p.mua = 0.05;
+  p.mus = 5.0;
+  p.g = 0.8;
+  p.n = 1.4;
+  mc::LayeredMediumBuilder builder;
+  builder.add_layer("top", p, 3.0);
+  p.mua = 0.01;
+  builder.add_semi_infinite_layer("bottom", p);
+  spec.kernel.medium = builder.build();
+  mc::DetectorSpec detector;
+  detector.separation_mm = 5.0;
+  detector.radius_mm = 2.0;
+  spec.kernel.detector = detector;
+  spec.photons = photons;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(ExecutionOptions, Validation) {
+  ExecutionOptions options;
+  options.workers = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.workers = 2;
+  options.worker_death_probability = 1.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.worker_death_probability = 0.0;
+  options.lease_duration_s = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(App, PlanChunksCoversBudgetExactly) {
+  MonteCarloApp app(small_spec(1000));
+  const auto chunks = app.plan_chunks(128, 1);
+  std::uint64_t total = 0;
+  for (auto c : chunks) total += c;
+  EXPECT_EQ(total, 1000u);
+  // Auto chunking gives each worker several pulls.
+  const auto auto_chunks = app.plan_chunks(0, 4);
+  EXPECT_GE(auto_chunks.size(), 8u);
+}
+
+TEST(App, SerialRunAccountsForAllPhotons) {
+  MonteCarloApp app(small_spec(2000));
+  const mc::SimulationTally tally = app.run_serial(500);
+  EXPECT_EQ(tally.photons_launched(), 2000u);
+  EXPECT_LT(tally.weight_conservation_error(), 1e-6 * 2000);
+}
+
+TEST(App, SerialIsChunkSizeInvariantStatistically) {
+  // Different chunk sizes use different RNG stream layouts, so results
+  // differ bitwise but must agree statistically.
+  MonteCarloApp app(small_spec(20000));
+  const double rd_small = app.run_serial(1000).diffuse_reflectance();
+  const double rd_large = app.run_serial(10000).diffuse_reflectance();
+  EXPECT_NEAR(rd_small, rd_large, 0.02);
+}
+
+TEST(App, DistributedMatchesSerialBitwise) {
+  MonteCarloApp app(small_spec(3000));
+  const mc::SimulationTally serial = app.run_serial(250);
+
+  ExecutionOptions options;
+  options.workers = 4;
+  options.chunk_photons = 250;
+  const RunSummary summary = app.run_distributed(options);
+
+  EXPECT_EQ(summary.tally.photons_launched(), serial.photons_launched());
+  // Bitwise identical: same chunks, same per-task streams, same merge order.
+  EXPECT_EQ(summary.tally.diffuse_reflectance(),
+            serial.diffuse_reflectance());
+  EXPECT_EQ(summary.tally.absorbed_fraction(), serial.absorbed_fraction());
+  EXPECT_EQ(summary.tally.mean_detected_pathlength(),
+            serial.mean_detected_pathlength());
+  EXPECT_EQ(summary.tally.photons_detected(), serial.photons_detected());
+}
+
+class WorkerCountSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkerCountSweep, ResultIndependentOfWorkerCount) {
+  MonteCarloApp app(small_spec(2000));
+  ExecutionOptions options;
+  options.workers = GetParam();
+  options.chunk_photons = 200;
+  const RunSummary summary = app.run_distributed(options);
+
+  ExecutionOptions baseline;
+  baseline.workers = 1;
+  baseline.chunk_photons = 200;
+  const RunSummary reference = app.run_distributed(baseline);
+
+  EXPECT_EQ(summary.tally.diffuse_reflectance(),
+            reference.tally.diffuse_reflectance());
+  EXPECT_EQ(summary.tally.photons_detected(),
+            reference.tally.photons_detected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerCountSweep,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(App, FaultInjectionDoesNotChangeTheResult) {
+  MonteCarloApp app(small_spec(2000));
+  ExecutionOptions clean;
+  clean.workers = 3;
+  clean.chunk_photons = 200;
+  const RunSummary a = app.run_distributed(clean);
+
+  ExecutionOptions faulty = clean;
+  faulty.transport_faults.drop_probability = 0.1;
+  faulty.transport_faults.seed = 5;
+  faulty.worker_death_probability = 0.15;
+  faulty.lease_duration_s = 0.2;
+  const RunSummary b = app.run_distributed(faulty);
+
+  EXPECT_EQ(a.tally.diffuse_reflectance(), b.tally.diffuse_reflectance());
+  EXPECT_EQ(a.tally.absorbed_fraction(), b.tally.absorbed_fraction());
+  EXPECT_EQ(a.tally.photons_launched(), b.tally.photons_launched());
+}
+
+TEST(App, ReportsPlatformStatistics) {
+  MonteCarloApp app(small_spec(1000));
+  ExecutionOptions options;
+  options.workers = 2;
+  options.chunk_photons = 100;
+  const RunSummary summary = app.run_distributed(options);
+  EXPECT_EQ(summary.tasks, 10u);
+  EXPECT_EQ(summary.manager_stats.completions, 10u);
+  EXPECT_GT(summary.frames_sent, 20u);
+  EXPECT_GT(summary.bytes_sent, 0u);
+  EXPECT_GT(summary.wall_seconds, 0.0);
+}
+
+TEST(App, GridsSurviveDistributionAndMerge) {
+  SimulationSpec spec = small_spec(2000);
+  spec.kernel.tally.enable_fluence_grid = true;
+  spec.kernel.tally.fluence_spec = mc::GridSpec::cube(10, 10.0, 10.0);
+  MonteCarloApp app(spec);
+
+  const mc::SimulationTally serial = app.run_serial(250);
+  ExecutionOptions options;
+  options.workers = 3;
+  options.chunk_photons = 250;
+  const RunSummary distributed = app.run_distributed(options);
+
+  ASSERT_NE(serial.fluence_grid(), nullptr);
+  ASSERT_NE(distributed.tally.fluence_grid(), nullptr);
+  EXPECT_EQ(distributed.tally.fluence_grid()->total(),
+            serial.fluence_grid()->total());
+}
+
+}  // namespace
+}  // namespace phodis::core

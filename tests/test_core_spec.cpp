@@ -1,0 +1,203 @@
+// Tests for SimulationSpec/TaskPayload serialisation and the client-side
+// Algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiments.hpp"
+#include "core/spec.hpp"
+#include "core/app.hpp"
+#include "mc/presets.hpp"
+
+namespace phodis::core {
+namespace {
+
+SimulationSpec rich_spec() {
+  SimulationSpec spec;
+  spec.kernel.medium = mc::adult_head_model();
+  spec.kernel.source.type = mc::SourceType::kGaussian;
+  spec.kernel.source.radius_mm = 2.5;
+  mc::DetectorSpec detector;
+  detector.separation_mm = 30.0;
+  detector.radius_mm = 2.0;
+  detector.gate.min_mm = 10.0;
+  detector.gate.max_mm = 500.0;
+  spec.kernel.detector = detector;
+  spec.kernel.boundary_model = mc::BoundaryModel::kClassical;
+  spec.kernel.roulette.threshold = 1e-3;
+  spec.kernel.roulette.survival_multiplier = 20.0;
+  spec.kernel.tally.enable_fluence_grid = true;
+  spec.kernel.tally.fluence_spec = mc::GridSpec::cube(10, 20.0, 30.0);
+  spec.kernel.tally.enable_path_grid = true;
+  spec.kernel.tally.path_spec = mc::GridSpec::cube(12, 25.0, 35.0);
+  spec.kernel.max_interactions = 123456;
+  spec.photons = 777;
+  spec.seed = 424242;
+  return spec;
+}
+
+TEST(Spec, ValidateRejectsZeroPhotons) {
+  SimulationSpec spec = rich_spec();
+  spec.photons = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Spec, SerializeRoundTripPreservesEverything) {
+  const SimulationSpec spec = rich_spec();
+  util::ByteWriter w;
+  spec.serialize(w);
+  util::ByteReader r(w.bytes());
+  const SimulationSpec back = SimulationSpec::deserialize(r);
+  EXPECT_TRUE(r.exhausted());
+
+  EXPECT_EQ(back.photons, spec.photons);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.kernel.medium.layer_count(), 5u);
+  EXPECT_EQ(back.kernel.medium.layer(2).name, "CSF");
+  EXPECT_DOUBLE_EQ(back.kernel.medium.layer(4).props.mua, 0.014);
+  EXPECT_TRUE(std::isinf(back.kernel.medium.layer(4).z1));
+  EXPECT_EQ(back.kernel.source.type, mc::SourceType::kGaussian);
+  EXPECT_DOUBLE_EQ(back.kernel.source.radius_mm, 2.5);
+  ASSERT_TRUE(back.kernel.detector.has_value());
+  EXPECT_DOUBLE_EQ(back.kernel.detector->separation_mm, 30.0);
+  EXPECT_DOUBLE_EQ(back.kernel.detector->gate.min_mm, 10.0);
+  EXPECT_DOUBLE_EQ(back.kernel.detector->gate.max_mm, 500.0);
+  EXPECT_EQ(back.kernel.boundary_model, mc::BoundaryModel::kClassical);
+  EXPECT_DOUBLE_EQ(back.kernel.roulette.survival_multiplier, 20.0);
+  EXPECT_TRUE(back.kernel.tally.enable_fluence_grid);
+  EXPECT_EQ(back.kernel.tally.fluence_spec, spec.kernel.tally.fluence_spec);
+  EXPECT_EQ(back.kernel.tally.path_spec, spec.kernel.tally.path_spec);
+  EXPECT_EQ(back.kernel.max_interactions, 123456u);
+}
+
+TEST(Spec, RoundTripWithoutDetector) {
+  SimulationSpec spec;
+  spec.kernel.medium = mc::homogeneous_white_matter();
+  spec.photons = 10;
+  util::ByteWriter w;
+  spec.serialize(w);
+  util::ByteReader r(w.bytes());
+  const SimulationSpec back = SimulationSpec::deserialize(r);
+  EXPECT_FALSE(back.kernel.detector.has_value());
+}
+
+TEST(Spec, OpenGateInfinityRoundTrips) {
+  SimulationSpec spec = rich_spec();
+  spec.kernel.detector->gate.min_mm = 0.0;
+  spec.kernel.detector->gate.max_mm =
+      std::numeric_limits<double>::infinity();
+  util::ByteWriter w;
+  spec.serialize(w);
+  util::ByteReader r(w.bytes());
+  const SimulationSpec back = SimulationSpec::deserialize(r);
+  EXPECT_TRUE(back.kernel.detector->gate.is_open());
+}
+
+TEST(TaskPayload, EncodeDecodeRoundTrip) {
+  TaskPayload payload;
+  payload.spec = rich_spec();
+  payload.task_photons = 4321;
+  const TaskPayload back = TaskPayload::decode(payload.encode());
+  EXPECT_EQ(back.task_photons, 4321u);
+  EXPECT_EQ(back.spec.seed, payload.spec.seed);
+}
+
+TEST(TaskPayload, RejectsTrailingGarbage) {
+  TaskPayload payload;
+  payload.spec = rich_spec();
+  payload.task_photons = 1;
+  std::vector<std::uint8_t> bytes = payload.encode();
+  bytes.push_back(0x00);
+  EXPECT_THROW(TaskPayload::decode(bytes), std::invalid_argument);
+}
+
+TEST(TaskPayload, RejectsTruncation) {
+  TaskPayload payload;
+  payload.spec = rich_spec();
+  payload.task_photons = 1;
+  std::vector<std::uint8_t> bytes = payload.encode();
+  bytes.resize(bytes.size() / 3);
+  EXPECT_THROW(TaskPayload::decode(bytes), std::exception);
+}
+
+// ---------- Algorithm ---------------------------------------------------------
+
+TEST(Algorithm, ExecutesTaskAndReturnsTally) {
+  TaskPayload payload;
+  payload.spec.kernel.medium = mc::homogeneous_white_matter();
+  payload.spec.photons = 100;
+  payload.spec.seed = 7;
+  payload.task_photons = 100;
+  const std::vector<std::uint8_t> result =
+      Algorithm::execute(0, payload.encode());
+  util::ByteReader reader(result);
+  const mc::SimulationTally tally = mc::SimulationTally::deserialize(reader);
+  EXPECT_EQ(tally.photons_launched(), 100u);
+  EXPECT_GT(tally.diffuse_reflectance() + tally.absorbed_fraction(), 0.5);
+}
+
+TEST(Algorithm, SameTaskIdGivesIdenticalResult) {
+  TaskPayload payload;
+  payload.spec.kernel.medium = mc::homogeneous_white_matter();
+  payload.spec.photons = 200;
+  payload.spec.seed = 7;
+  payload.task_photons = 200;
+  const auto bytes = payload.encode();
+  EXPECT_EQ(Algorithm::execute(3, bytes), Algorithm::execute(3, bytes));
+}
+
+TEST(Algorithm, DifferentTaskIdsGiveDifferentResults) {
+  TaskPayload payload;
+  payload.spec.kernel.medium = mc::homogeneous_white_matter();
+  payload.spec.photons = 200;
+  payload.spec.seed = 7;
+  payload.task_photons = 200;
+  const auto bytes = payload.encode();
+  EXPECT_NE(Algorithm::execute(0, bytes), Algorithm::execute(1, bytes));
+}
+
+TEST(Algorithm, ThrowsOnGarbagePayload) {
+  const std::vector<std::uint8_t> garbage = {1, 2, 3};
+  EXPECT_THROW(Algorithm::execute(0, garbage), std::exception);
+}
+
+// ---------- experiment presets -------------------------------------------------
+
+TEST(Experiments, Fig3SpecIsValid) {
+  const SimulationSpec spec = fig3_banana_spec();
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.kernel.medium.layer_count(), 1u);
+  EXPECT_EQ(spec.kernel.source.type, mc::SourceType::kDelta);
+  EXPECT_TRUE(spec.kernel.tally.enable_path_grid);
+  EXPECT_EQ(spec.kernel.tally.path_spec.nx, 50u);  // granularity 50^3
+  ASSERT_TRUE(spec.kernel.detector.has_value());
+}
+
+TEST(Experiments, Fig4SpecUsesHeadModel) {
+  const SimulationSpec spec = fig4_head_spec();
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_EQ(spec.kernel.medium.layer_count(), 5u);
+  EXPECT_TRUE(spec.kernel.tally.enable_fluence_grid);
+}
+
+TEST(Experiments, SourceFootprintSpecVariesSource) {
+  const SimulationSpec spec =
+      source_footprint_spec(mc::SourceType::kUniform, 5.0);
+  EXPECT_EQ(spec.kernel.source.type, mc::SourceType::kUniform);
+  EXPECT_DOUBLE_EQ(spec.kernel.source.radius_mm, 5.0);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(Experiments, SpecsSerialise) {
+  for (const SimulationSpec& spec :
+       {fig3_banana_spec(), fig4_head_spec(),
+        source_footprint_spec(mc::SourceType::kGaussian, 2.0)}) {
+    util::ByteWriter w;
+    spec.serialize(w);
+    util::ByteReader r(w.bytes());
+    EXPECT_NO_THROW(SimulationSpec::deserialize(r));
+  }
+}
+
+}  // namespace
+}  // namespace phodis::core

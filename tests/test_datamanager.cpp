@@ -1,0 +1,153 @@
+// Tests for the DataManager: leasing, exactly-once completion, lease
+// expiry, and worker eviction.
+#include <gtest/gtest.h>
+
+#include "dist/datamanager.hpp"
+
+namespace phodis::dist {
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::uint8_t byte) { return {byte}; }
+
+TEST(DataManager, RejectsNonPositiveLease) {
+  EXPECT_THROW(DataManager(0.0), std::invalid_argument);
+  EXPECT_THROW(DataManager(-1.0), std::invalid_argument);
+}
+
+TEST(DataManager, AddAndLeaseInFifoOrder) {
+  DataManager dm(10.0);
+  dm.add_task(0, payload_of(10));
+  dm.add_task(1, payload_of(11));
+  auto a = dm.lease_next("w0", 0.0);
+  auto b = dm.lease_next("w1", 0.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->task_id, 0u);
+  EXPECT_EQ(b->task_id, 1u);
+  EXPECT_EQ(a->payload, payload_of(10));
+  EXPECT_FALSE(dm.lease_next("w2", 0.0).has_value());
+}
+
+TEST(DataManager, DuplicateTaskIdThrows) {
+  DataManager dm(10.0);
+  dm.add_task(5, {});
+  EXPECT_THROW(dm.add_task(5, {}), std::invalid_argument);
+}
+
+TEST(DataManager, CompleteIsExactlyOnce) {
+  DataManager dm(10.0);
+  dm.add_task(0, {});
+  dm.lease_next("w0", 0.0);
+  EXPECT_TRUE(dm.complete(0, "w0", 1.0));
+  EXPECT_FALSE(dm.complete(0, "w0", 1.5));  // duplicate
+  EXPECT_EQ(dm.stats().duplicate_results, 1u);
+  EXPECT_TRUE(dm.all_done());
+}
+
+TEST(DataManager, UnknownResultIsCounted) {
+  DataManager dm(10.0);
+  EXPECT_FALSE(dm.complete(999, "w0", 0.0));
+  EXPECT_EQ(dm.stats().unknown_results, 1u);
+}
+
+TEST(DataManager, LeaseExpiryRequeues) {
+  DataManager dm(5.0);
+  dm.add_task(0, {});
+  dm.lease_next("w0", 0.0);
+  EXPECT_EQ(dm.pending_count(), 0u);
+  EXPECT_EQ(dm.in_flight_count(), 1u);
+  EXPECT_EQ(dm.expire_leases(4.9), 0u);  // not yet
+  EXPECT_EQ(dm.expire_leases(5.0), 1u);  // deadline reached
+  EXPECT_EQ(dm.pending_count(), 1u);
+  EXPECT_EQ(dm.in_flight_count(), 0u);
+  // Re-leasable by another worker.
+  auto again = dm.lease_next("w1", 6.0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->task_id, 0u);
+}
+
+TEST(DataManager, LateResultAfterExpiryStillFirstWins) {
+  DataManager dm(5.0);
+  dm.add_task(0, {});
+  dm.lease_next("w0", 0.0);
+  dm.expire_leases(10.0);
+  dm.lease_next("w1", 10.0);
+  // The original (slow) worker returns first; its result is accepted.
+  EXPECT_TRUE(dm.complete(0, "w0", 11.0));
+  // The re-issued copy arrives later and is discarded.
+  EXPECT_FALSE(dm.complete(0, "w1", 12.0));
+  EXPECT_TRUE(dm.all_done());
+  EXPECT_EQ(dm.completed_count(), 1u);
+}
+
+TEST(DataManager, CompletedTaskSkippedWhenRequeued) {
+  DataManager dm(5.0);
+  dm.add_task(0, {});
+  dm.add_task(1, {});
+  dm.lease_next("w0", 0.0);
+  dm.expire_leases(5.0);  // task 0 back in the queue
+  dm.complete(0, "w0", 6.0);  // but then it completes
+  // The stale queue entry for task 0 must be skipped; we get task 1.
+  auto next = dm.lease_next("w1", 7.0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->task_id, 1u);
+}
+
+TEST(DataManager, EvictWorkerRequeuesItsLeases) {
+  DataManager dm(1000.0);  // long leases: eviction is the only recovery
+  dm.add_task(0, {});
+  dm.add_task(1, {});
+  dm.add_task(2, {});
+  dm.lease_next("dead", 0.0);
+  dm.lease_next("dead", 0.0);
+  dm.lease_next("alive", 0.0);
+  EXPECT_EQ(dm.evict_worker("dead"), 2u);
+  EXPECT_EQ(dm.pending_count(), 2u);
+  EXPECT_EQ(dm.in_flight_count(), 1u);
+}
+
+TEST(DataManager, AllDoneSemantics) {
+  DataManager dm(10.0);
+  EXPECT_TRUE(dm.all_done());  // vacuously: no tasks
+  dm.add_task(0, {});
+  EXPECT_FALSE(dm.all_done());
+  dm.lease_next("w", 0.0);
+  EXPECT_FALSE(dm.all_done());  // in flight is not done
+  dm.complete(0, "w", 1.0);
+  EXPECT_TRUE(dm.all_done());
+}
+
+TEST(DataManager, StatsAccumulate) {
+  DataManager dm(5.0);
+  dm.add_task(0, {});
+  dm.add_task(1, {});
+  dm.lease_next("w0", 0.0);   // task 0 -> w0
+  dm.expire_leases(5.0);      // task 0 requeued behind task 1
+  auto second = dm.lease_next("w1", 6.0);  // task 1 -> w1 (FIFO)
+  ASSERT_TRUE(second && second->task_id == 1u);
+  auto third = dm.lease_next("w0", 6.5);  // task 0 re-assigned
+  ASSERT_TRUE(third && third->task_id == 0u);
+  dm.complete(1, "w1", 7.0);
+  dm.complete(0, "w0", 8.0);
+  const DataManagerStats stats = dm.stats();
+  EXPECT_EQ(stats.tasks_added, 2u);
+  EXPECT_EQ(stats.assignments, 3u);  // task 0 twice, task 1 once
+  EXPECT_EQ(stats.completions, 2u);
+  EXPECT_EQ(stats.lease_expirations, 1u);
+}
+
+TEST(DataManager, ManyTasksDrainCompletely) {
+  DataManager dm(10.0);
+  constexpr std::uint64_t kTasks = 500;
+  for (std::uint64_t i = 0; i < kTasks; ++i) dm.add_task(i, {});
+  std::uint64_t drained = 0;
+  while (auto task = dm.lease_next("w", 0.0)) {
+    dm.complete(task->task_id, "w", 1.0);
+    ++drained;
+  }
+  EXPECT_EQ(drained, kTasks);
+  EXPECT_TRUE(dm.all_done());
+  EXPECT_EQ(dm.completed_count(), kTasks);
+}
+
+}  // namespace
+}  // namespace phodis::dist

@@ -1,0 +1,195 @@
+// Tests for message framing and the loopback transport.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dist/message.hpp"
+#include "dist/transport.hpp"
+
+namespace phodis::dist {
+namespace {
+
+// ---------- Message ----------------------------------------------------------
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  Message msg;
+  msg.type = MessageType::kAssignTask;
+  msg.task_id = 123456789;
+  msg.sender = "worker-7";
+  msg.payload = {0x00, 0xFF, 0x42, 0x10};
+  const Message back = Message::decode(msg.encode());
+  EXPECT_EQ(back, msg);
+}
+
+TEST(Message, EmptyPayloadRoundTrip) {
+  Message msg;
+  msg.type = MessageType::kRequestWork;
+  msg.sender = "worker-0";
+  const Message back = Message::decode(msg.encode());
+  EXPECT_EQ(back, msg);
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(Message, AllTypesRoundTrip) {
+  for (MessageType type :
+       {MessageType::kRequestWork, MessageType::kAssignTask,
+        MessageType::kTaskResult, MessageType::kNoWork,
+        MessageType::kShutdown}) {
+    Message msg;
+    msg.type = type;
+    EXPECT_EQ(Message::decode(msg.encode()).type, type);
+  }
+}
+
+TEST(Message, ToStringNamesAllTypes) {
+  EXPECT_EQ(to_string(MessageType::kRequestWork), "RequestWork");
+  EXPECT_EQ(to_string(MessageType::kShutdown), "Shutdown");
+}
+
+TEST(Message, DecodeRejectsUnknownType) {
+  Message msg;
+  std::vector<std::uint8_t> frame = msg.encode();
+  frame[0] = 99;
+  EXPECT_THROW(Message::decode(frame), std::invalid_argument);
+}
+
+TEST(Message, DecodeRejectsLengthMismatch) {
+  Message msg;
+  msg.payload = {1, 2, 3};
+  std::vector<std::uint8_t> frame = msg.encode();
+  frame.pop_back();
+  EXPECT_THROW(Message::decode(frame), std::exception);
+}
+
+TEST(Message, DecodeRejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> frame = {1, 2, 3};
+  EXPECT_THROW(Message::decode(frame), std::out_of_range);
+}
+
+// ---------- FaultSpec --------------------------------------------------------
+
+TEST(FaultSpec, Validation) {
+  FaultSpec spec;
+  EXPECT_NO_THROW(spec.validate());
+  spec.drop_probability = -0.1;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.drop_probability = 1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.drop_probability = 0.5;
+  EXPECT_NO_THROW(spec.validate());
+}
+
+// ---------- LoopbackTransport -------------------------------------------------
+
+TEST(Transport, DeliversInFifoOrder) {
+  LoopbackTransport transport;
+  for (int i = 0; i < 5; ++i) {
+    Message msg;
+    msg.type = MessageType::kAssignTask;
+    msg.task_id = static_cast<std::uint64_t>(i);
+    transport.send("dest", msg);
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto msg = transport.try_receive("dest");
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->task_id, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_FALSE(transport.try_receive("dest").has_value());
+}
+
+TEST(Transport, EndpointsAreIsolated) {
+  LoopbackTransport transport;
+  Message msg;
+  msg.sender = "a";
+  transport.send("alice", msg);
+  EXPECT_FALSE(transport.try_receive("bob").has_value());
+  EXPECT_TRUE(transport.try_receive("alice").has_value());
+}
+
+TEST(Transport, ReceiveTimesOutWhenEmpty) {
+  LoopbackTransport transport;
+  const auto result = transport.receive("nobody", 10);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Transport, BlockingReceiveWakesOnSend) {
+  LoopbackTransport transport;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Message msg;
+    msg.task_id = 7;
+    transport.send("w", msg);
+  });
+  const auto msg = transport.receive("w", 2000);
+  sender.join();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->task_id, 7u);
+}
+
+TEST(Transport, CountsFramesAndBytes) {
+  LoopbackTransport transport;
+  Message msg;
+  msg.payload = {1, 2, 3, 4};
+  transport.send("x", msg);
+  transport.send("x", msg);
+  EXPECT_EQ(transport.frames_sent(), 2u);
+  EXPECT_EQ(transport.frames_dropped(), 0u);
+  EXPECT_GT(transport.bytes_sent(), 8u);
+}
+
+TEST(Transport, DropInjectionLosesRoughlyTheConfiguredFraction) {
+  FaultSpec faults;
+  faults.drop_probability = 0.3;
+  faults.seed = 5;
+  LoopbackTransport transport(faults);
+  Message msg;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) transport.send("x", msg);
+  const double rate =
+      static_cast<double>(transport.frames_dropped()) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+  // Delivered + dropped == sent.
+  int delivered = 0;
+  while (transport.try_receive("x")) ++delivered;
+  EXPECT_EQ(delivered + transport.frames_dropped(),
+            transport.frames_sent());
+}
+
+TEST(Transport, ShutdownWakesBlockedReceivers) {
+  LoopbackTransport transport;
+  std::thread waiter([&] {
+    const auto msg = transport.receive("w", 60000);
+    EXPECT_FALSE(msg.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  transport.shutdown();
+  waiter.join();
+}
+
+TEST(Transport, RefusesTrafficAfterShutdown) {
+  LoopbackTransport transport;
+  transport.shutdown();
+  Message msg;
+  transport.send("x", msg);
+  EXPECT_FALSE(transport.try_receive("x").has_value());
+}
+
+TEST(Transport, ConcurrentSendersDontLoseFrames) {
+  LoopbackTransport transport;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&transport] {
+      Message msg;
+      for (int i = 0; i < kPerThread; ++i) transport.send("sink", msg);
+    });
+  }
+  for (auto& t : senders) t.join();
+  int received = 0;
+  while (transport.try_receive("sink")) ++received;
+  EXPECT_EQ(received, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace phodis::dist

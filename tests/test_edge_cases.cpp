@@ -1,0 +1,256 @@
+// Edge-case coverage: non-interacting (clear) layers, extreme optical
+// parameters, and DataManager thread-safety under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "dist/datamanager.hpp"
+#include "mc/kernel.hpp"
+#include "mc/presets.hpp"
+
+namespace phodis::mc {
+namespace {
+
+// ---------- clear (µt = 0) layers ----------------------------------------------
+
+/// A perfectly clear layer (idealised CSF): photons must cross it
+/// ballistically with no weight change, and the kernel's µt = 0 branch
+/// must not lose energy or hang.
+LayeredMedium sandwich_with_clear_middle(double n_clear) {
+  OpticalProperties scatterer;
+  scatterer.mua = 0.02;
+  scatterer.mus = 5.0;
+  scatterer.g = 0.8;
+  scatterer.n = 1.4;
+  OpticalProperties clear;
+  clear.mua = 0.0;
+  clear.mus = 0.0;
+  clear.g = 0.0;
+  clear.n = n_clear;
+  LayeredMediumBuilder builder;
+  builder.add_layer("top", scatterer, 2.0);
+  builder.add_layer("clear", clear, 3.0);
+  builder.add_semi_infinite_layer("bottom", scatterer);
+  return builder.build();
+}
+
+TEST(ClearLayer, ConservesEnergyWithMatchedIndex) {
+  KernelConfig config;
+  config.medium = sandwich_with_clear_middle(1.4);
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(81);
+  kernel.run(20000, rng, tally);
+  EXPECT_LT(tally.weight_conservation_error(), 1e-6 * 20000);
+  // Nothing can be absorbed in the clear layer.
+  EXPECT_DOUBLE_EQ(tally.absorbed_weight(1), 0.0);
+  // Photons do reach and deposit in the bottom layer.
+  EXPECT_GT(tally.absorbed_weight(2), 0.0);
+}
+
+TEST(ClearLayer, MismatchedIndexStillConserves) {
+  // n = 1.0 clear layer between n = 1.4 tissue: internal reflections at
+  // both faces of the gap (the CSF situation, exaggerated).
+  KernelConfig config;
+  config.medium = sandwich_with_clear_middle(1.0);
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(82);
+  kernel.run(20000, rng, tally);
+  EXPECT_LT(tally.weight_conservation_error(), 1e-6 * 20000);
+  EXPECT_GT(tally.absorbed_weight(2), 0.0);
+}
+
+TEST(ClearLayer, FullyClearSlabTransmitsBallistically) {
+  // A single clear slab with matched boundaries transmits every photon
+  // with weight exactly 1 (no specular loss, no interactions).
+  OpticalProperties clear;
+  clear.n = 1.0;
+  KernelConfig config;
+  config.medium = homogeneous_slab(clear, 10.0, 1.0);
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(83);
+  kernel.run(1000, rng, tally);
+  EXPECT_DOUBLE_EQ(tally.transmittance(), 1.0);
+  EXPECT_DOUBLE_EQ(tally.diffuse_reflectance(), 0.0);
+}
+
+TEST(ClearLayer, PurelyAbsorbingClearLayerAttenuates) {
+  // µs = 0 but µa > 0: Beer-Lambert through the layer, no scattering.
+  OpticalProperties absorber;
+  absorber.mua = 0.2;
+  absorber.mus = 0.0;
+  absorber.n = 1.0;
+  KernelConfig config;
+  config.medium = homogeneous_slab(absorber, 5.0, 1.0);
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(84);
+  kernel.run(30000, rng, tally);
+  EXPECT_NEAR(tally.transmittance(), std::exp(-1.0), 6e-3);
+}
+
+// ---------- extreme parameters --------------------------------------------------
+
+TEST(Extremes, NearUnityAnisotropyStillConserves) {
+  OpticalProperties p;
+  p.mua = 0.01;
+  p.mus = 10.0;
+  p.g = 0.999;  // almost pure forward scattering
+  p.n = 1.0;
+  KernelConfig config;
+  config.medium = homogeneous_semi_infinite(p, 1.0);
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(85);
+  kernel.run(5000, rng, tally);
+  EXPECT_LT(tally.weight_conservation_error(), 1e-6 * 5000);
+  // Forward scattering drives photons deep: reflectance is modest.
+  EXPECT_LT(tally.diffuse_reflectance(), 0.9);
+}
+
+TEST(Extremes, BackScatteringMediumReflectsStrongly) {
+  OpticalProperties forward;
+  forward.mua = 0.1;
+  forward.mus = 10.0;
+  forward.g = 0.9;
+  forward.n = 1.0;
+  OpticalProperties backward = forward;
+  backward.g = -0.9;
+  auto rd = [](const OpticalProperties& p, std::uint64_t seed) {
+    KernelConfig config;
+    config.medium = homogeneous_semi_infinite(p, 1.0);
+    const Kernel kernel(config);
+    SimulationTally tally = kernel.make_tally();
+    util::Xoshiro256pp rng(seed);
+    kernel.run(20000, rng, tally);
+    return tally.diffuse_reflectance();
+  };
+  EXPECT_GT(rd(backward, 86), rd(forward, 87));
+}
+
+TEST(Extremes, VeryThinSlabTransmitsAlmostEverything) {
+  OpticalProperties p;
+  p.mua = 0.01;
+  p.mus = 1.0;
+  p.g = 0.9;
+  p.n = 1.0;
+  KernelConfig config;
+  config.medium = homogeneous_slab(p, 0.01, 1.0);  // 10 µm
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(88);
+  kernel.run(10000, rng, tally);
+  EXPECT_GT(tally.transmittance(), 0.98);
+}
+
+TEST(Extremes, SingleVoxelGridsWork) {
+  GridSpec spec;
+  spec.nx = spec.ny = spec.nz = 1;
+  VoxelGrid3D grid(spec);
+  grid.deposit({0.0, 0.0, 25.0}, 2.0);
+  EXPECT_DOUBLE_EQ(grid.total(), 2.0);
+  EXPECT_DOUBLE_EQ(grid.at(0, 0, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace phodis::mc
+
+namespace phodis::dist {
+namespace {
+
+// ---------- DataManager under thread contention ----------------------------------
+
+TEST(DataManagerConcurrency, ParallelLeaseCompleteIsExactlyOnce) {
+  DataManager manager(60.0);
+  constexpr std::uint64_t kTasks = 2000;
+  for (std::uint64_t i = 0; i < kTasks; ++i) manager.add_task(i, {});
+
+  std::atomic<std::uint64_t> merged{0};
+  std::mutex seen_mutex;
+  std::set<std::uint64_t> seen;
+
+  auto worker = [&](int index) {
+    const std::string name = "w" + std::to_string(index);
+    while (auto task = manager.lease_next(name, 0.0)) {
+      if (manager.complete(task->task_id, name, 1.0)) {
+        merged.fetch_add(1);
+        std::lock_guard<std::mutex> lock(seen_mutex);
+        // Exactly-once: no id may be merged twice.
+        ASSERT_TRUE(seen.insert(task->task_id).second);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) threads.emplace_back(worker, t);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(merged.load(), kTasks);
+  EXPECT_TRUE(manager.all_done());
+  EXPECT_EQ(manager.stats().duplicate_results, 0u);
+}
+
+TEST(DataManagerConcurrency, ExpiryRacingCompletionsStaysConsistent) {
+  DataManager manager(0.0001);  // leases expire essentially immediately
+  constexpr std::uint64_t kTasks = 500;
+  for (std::uint64_t i = 0; i < kTasks; ++i) manager.add_task(i, {});
+
+  std::atomic<bool> stop{false};
+  std::thread reaper([&] {
+    double now = 1.0;
+    while (!stop.load()) {
+      manager.expire_leases(now);
+      now += 1.0;
+    }
+  });
+
+  std::atomic<std::uint64_t> merged{0};
+  auto worker = [&](int index) {
+    const std::string name = "w" + std::to_string(index);
+    while (!manager.all_done()) {
+      if (auto task = manager.lease_next(name, 0.0)) {
+        if (manager.complete(task->task_id, name, 0.0)) {
+          merged.fetch_add(1);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(worker, t);
+  for (auto& thread : threads) thread.join();
+  stop.store(true);
+  reaper.join();
+
+  // Every task merged exactly once even with constant lease churn.
+  EXPECT_EQ(merged.load(), kTasks);
+  EXPECT_EQ(manager.completed_count(), kTasks);
+}
+
+TEST(DataManagerConcurrency, ConcurrentAddAndLease) {
+  DataManager manager(60.0);
+  std::atomic<std::uint64_t> merged{0};
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < 1000; ++i) manager.add_task(i, {});
+  });
+  std::thread consumer([&] {
+    std::uint64_t idle_spins = 0;
+    while (merged.load() < 1000 && idle_spins < 10'000'000) {
+      if (auto task = manager.lease_next("c", 0.0)) {
+        manager.complete(task->task_id, "c", 0.0);
+        merged.fetch_add(1);
+      } else {
+        ++idle_spins;
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(merged.load(), 1000u);
+}
+
+}  // namespace
+}  // namespace phodis::dist

@@ -1,0 +1,230 @@
+// Cross-module integration tests: the paper's qualitative claims,
+// reproduced end-to-end through the public API (core + mc + analysis).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/banana.hpp"
+#include "analysis/diffusion.hpp"
+#include "analysis/render.hpp"
+#include "core/app.hpp"
+#include "core/experiments.hpp"
+#include "mc/presets.hpp"
+
+namespace phodis {
+namespace {
+
+// ---------- Fig. 3: the banana ------------------------------------------------
+
+TEST(Integration, Fig3DetectedPathsFormABanana) {
+  // Scaled-down Fig. 3: shorter separation and fewer photons than the
+  // paper's 10^9, but the shape property is scale-free.
+  core::SimulationSpec spec = core::fig3_banana_spec(
+      /*photons=*/150000, /*granularity=*/40, /*separation_mm=*/6.0,
+      /*seed=*/1);
+  core::MonteCarloApp app(spec);
+  const mc::SimulationTally tally = app.run_serial(50000);
+  ASSERT_GT(tally.photons_detected(), 20u);
+
+  mc::VoxelGrid3D grid = *tally.path_grid();
+  const analysis::BananaMetrics metrics =
+      analysis::banana_metrics(grid, 6.0);
+  EXPECT_TRUE(metrics.is_banana_shaped());
+  EXPECT_GT(metrics.midpoint_mean_depth_mm,
+            metrics.endpoint_mean_depth_mm);
+}
+
+TEST(Integration, Fig3ThresholdingKeepsTheCommonPaths) {
+  core::SimulationSpec spec =
+      core::fig3_banana_spec(100000, 30, 6.0, 2);
+  core::MonteCarloApp app(spec);
+  const mc::SimulationTally tally = app.run_serial(50000);
+  ASSERT_GT(tally.photons_detected(), 10u);
+  mc::VoxelGrid3D grid = *tally.path_grid();
+  const double total_before = grid.total();
+  const double kept = analysis::threshold_grid(grid, 1e-3);
+  EXPECT_GT(kept, 0.5);  // common paths dominate the visit weight
+  EXPECT_LT(grid.total(), total_before + 1e-9);
+}
+
+// ---------- Fig. 4: layered head ------------------------------------------------
+
+class Fig4Fixture : public ::testing::Test {
+ protected:
+  static const mc::SimulationTally& tally() {
+    static const mc::SimulationTally t = [] {
+      core::SimulationSpec spec = core::fig4_head_spec(
+          /*photons=*/60000, /*granularity=*/30, /*separation_mm=*/30.0,
+          /*seed=*/3);
+      core::MonteCarloApp app(spec);
+      return app.run_serial(20000);
+    }();
+    return t;
+  }
+};
+
+TEST_F(Fig4Fixture, MostPhotonsReflectBeforeReachingWhiteMatter) {
+  // Paper: "Most of the photons are reflected before they enter the CSF,
+  // however some do penetrate all the way into the white matter tissue."
+  const mc::SimulationTally& t = tally();
+  EXPECT_GT(t.diffuse_reflectance() + t.specular_reflectance(), 0.3);
+  // Some photons do reach the white matter (layer 4).
+  EXPECT_GT(t.absorbed_weight(4), 0.0);
+  // But the deep layers see far less weight than the superficial ones.
+  EXPECT_GT(t.absorbed_weight(0), t.absorbed_weight(4));
+}
+
+TEST_F(Fig4Fixture, DepthHistogramShowsShallowBias) {
+  const mc::SimulationTally& t = tally();
+  // Median max-depth is shallower than the grey-matter interface (12 mm).
+  EXPECT_LT(t.depth_histogram().quantile(0.5), 12.0);
+  // But the tail reaches the white matter (beyond 16 mm).
+  EXPECT_GT(t.depth_histogram().quantile(0.995), 16.0);
+}
+
+TEST_F(Fig4Fixture, CsfAbsorbsAlmostNothing) {
+  // CSF has tiny mua and is thin: its absorbed weight is far below the
+  // adjacent skull and grey layers.
+  const mc::SimulationTally& t = tally();
+  EXPECT_LT(t.absorbed_weight(2), t.absorbed_weight(1));
+  EXPECT_LT(t.absorbed_weight(2), t.absorbed_weight(3));
+}
+
+TEST_F(Fig4Fixture, ConservationHoldsInFullHeadModel) {
+  EXPECT_LT(tally().weight_conservation_error(), 1e-6 * 20000);
+}
+
+// ---------- §4 claim A: source footprint matters -------------------------------
+
+TEST(Integration, SourceFootprintChangesShallowDistribution) {
+  auto rms_at_first_slab = [](mc::SourceType type, double radius) {
+    core::SimulationSpec spec = core::source_footprint_spec(
+        type, radius, /*photons=*/30000, /*seed=*/4);
+    core::MonteCarloApp app(spec);
+    const mc::SimulationTally tally = app.run_serial(10000);
+    const auto series = analysis::beam_spread_by_depth(*tally.fluence_grid());
+    // First slab with meaningful weight.
+    for (const auto& point : series) {
+      if (point.total_weight > 1.0) return point.rms_radius_mm;
+    }
+    return 0.0;
+  };
+  const double delta_rms =
+      rms_at_first_slab(mc::SourceType::kDelta, 0.0);
+  const double wide_rms =
+      rms_at_first_slab(mc::SourceType::kUniform, 8.0);
+  // A wide uniform footprint spreads the shallow light far more than the
+  // laser: the paper's "source illumination footprint has an effect".
+  EXPECT_GT(wide_rms, delta_rms + 1.0);
+}
+
+// ---------- §4 claim B: lasers stay narrow -------------------------------------
+
+TEST(Integration, LaserBeamStaysNarrowInWhiteMatter) {
+  // "lasers do produce a small beam in a highly scattering medium":
+  // near the surface the fluence of a delta source is concentrated within
+  // a couple of transport mean free paths (1/µs' = 0.11 mm for white
+  // matter; our voxel here is 1 mm, so expect ~voxel-scale RMS).
+  core::SimulationSpec spec;
+  spec.kernel.medium = mc::homogeneous_white_matter();
+  spec.kernel.source.type = mc::SourceType::kDelta;
+  spec.kernel.tally.enable_fluence_grid = true;
+  spec.kernel.tally.fluence_spec = mc::GridSpec::cube(30, 15.0, 30.0);
+  spec.photons = 20000;
+  spec.seed = 5;
+  core::MonteCarloApp app(spec);
+  const mc::SimulationTally tally = app.run_serial(10000);
+  const auto series =
+      analysis::beam_spread_by_depth(*tally.fluence_grid());
+  // RMS radius in the top slab is voxel-scale...
+  ASSERT_GT(series.front().total_weight, 0.0);
+  EXPECT_LT(series.front().rms_radius_mm, 2.0);
+  // ...and grows with depth as multiple scattering takes over.
+  double deep_rms = 0.0;
+  for (const auto& point : series) {
+    if (point.z_mm > 5.0 && point.total_weight > 0.1) {
+      deep_rms = point.rms_radius_mm;
+      break;
+    }
+  }
+  EXPECT_GT(deep_rms, series.front().rms_radius_mm);
+}
+
+// ---------- §1: penetration depth vs optode spacing -----------------------------
+
+TEST(Integration, DetectedPathsProbeDeeperAtLargerSeparation) {
+  auto banana_mid_depth = [](double separation, std::uint64_t seed) {
+    core::SimulationSpec spec =
+        core::fig3_banana_spec(200000, 30, separation, seed);
+    // Use a light medium so detections are plentiful at both separations.
+    mc::OpticalProperties p;
+    p.mua = 0.01;
+    p.mus = 10.0;
+    p.g = 0.9;
+    p.n = 1.0;
+    mc::LayeredMediumBuilder builder;
+    builder.add_semi_infinite_layer("medium", p);
+    spec.kernel.medium = builder.build();
+    core::MonteCarloApp app(spec);
+    const mc::SimulationTally tally = app.run_serial(100000);
+    const analysis::BananaMetrics metrics =
+        analysis::banana_metrics(*tally.path_grid(), separation);
+    return metrics.midpoint_mean_depth_mm;
+  };
+  const double shallow = banana_mid_depth(5.0, 6);
+  const double deep = banana_mid_depth(15.0, 7);
+  EXPECT_GT(deep, shallow);
+}
+
+// ---------- gated pathlengths ---------------------------------------------------
+
+TEST(Integration, GatingSelectsShortPathsEndToEnd) {
+  core::SimulationSpec spec;
+  mc::OpticalProperties p;
+  p.mua = 0.01;
+  p.mus = 10.0;
+  p.g = 0.9;
+  p.n = 1.0;
+  mc::LayeredMediumBuilder builder;
+  builder.add_semi_infinite_layer("medium", p);
+  spec.kernel.medium = builder.build();
+  mc::DetectorSpec detector;
+  detector.separation_mm = 10.0;
+  detector.radius_mm = 2.0;
+  spec.kernel.detector = detector;
+  spec.photons = 60000;
+  spec.seed = 8;
+
+  core::MonteCarloApp open_app(spec);
+  const double open_mean =
+      open_app.run_serial(20000).mean_detected_pathlength();
+
+  spec.kernel.detector->gate.max_mm = open_mean;  // keep the short half
+  core::MonteCarloApp gated_app(spec);
+  const double gated_mean =
+      gated_app.run_serial(20000).mean_detected_pathlength();
+  EXPECT_LT(gated_mean, open_mean);
+}
+
+// ---------- distributed reproduction of a physics result ------------------------
+
+TEST(Integration, DistributedRunReproducesPhysicsExactly) {
+  core::SimulationSpec spec = core::fig3_banana_spec(30000, 20, 6.0, 9);
+  core::MonteCarloApp app(spec);
+  const mc::SimulationTally serial = app.run_serial(5000);
+
+  core::ExecutionOptions options;
+  options.workers = 4;
+  options.chunk_photons = 5000;
+  options.transport_faults.drop_probability = 0.05;
+  options.lease_duration_s = 1.0;
+  const core::RunSummary distributed = app.run_distributed(options);
+
+  EXPECT_EQ(distributed.tally.photons_detected(),
+            serial.photons_detected());
+  EXPECT_EQ(distributed.tally.path_grid()->total(),
+            serial.path_grid()->total());
+}
+
+}  // namespace
+}  // namespace phodis

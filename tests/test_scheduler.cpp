@@ -1,0 +1,198 @@
+// Tests for chunk planning and the static schedulers (round-robin,
+// greedy LPT, genetic algorithm).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/fleet.hpp"
+#include "dist/scheduler.hpp"
+
+namespace phodis::dist {
+namespace {
+
+// ---------- chunk planning ---------------------------------------------------
+
+TEST(ChunkPlan, ExactDivision) {
+  const auto chunks = chunk_plan(100, 25);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (auto c : chunks) EXPECT_EQ(c, 25u);
+}
+
+TEST(ChunkPlan, RemainderGoesToLastChunk) {
+  const auto chunks = chunk_plan(103, 25);
+  ASSERT_EQ(chunks.size(), 5u);
+  EXPECT_EQ(chunks.back(), 3u);
+  EXPECT_EQ(std::accumulate(chunks.begin(), chunks.end(), 0ULL), 103ULL);
+}
+
+TEST(ChunkPlan, SingleOversizedChunk) {
+  const auto chunks = chunk_plan(10, 1000);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], 10u);
+}
+
+TEST(ChunkPlan, TotalIsAlwaysPreserved) {
+  for (std::uint64_t total : {1ULL, 7ULL, 1000ULL, 999983ULL}) {
+    for (std::uint64_t chunk : {1ULL, 3ULL, 64ULL, 100000ULL}) {
+      const auto chunks = chunk_plan(total, chunk);
+      EXPECT_EQ(std::accumulate(chunks.begin(), chunks.end(), 0ULL), total);
+    }
+  }
+}
+
+TEST(ChunkPlan, RejectsZeroInputs) {
+  EXPECT_THROW(chunk_plan(0, 10), std::invalid_argument);
+  EXPECT_THROW(chunk_plan(10, 0), std::invalid_argument);
+}
+
+TEST(SuggestChunkSize, GivesEachProcessorSeveralPulls) {
+  const std::uint64_t chunk = suggest_chunk_size(1'000'000, 10, 4);
+  EXPECT_EQ(chunk, 25'000u);
+  EXPECT_EQ(suggest_chunk_size(10, 100, 4), 1u);  // floors at 1
+  EXPECT_THROW(suggest_chunk_size(100, 0), std::invalid_argument);
+}
+
+// ---------- makespan ---------------------------------------------------------
+
+TEST(Makespan, ComputesMaxLoadOverRate) {
+  const std::vector<double> sizes = {10, 20, 30};
+  const std::vector<double> rates = {1.0, 2.0};
+  // proc0: 10; proc1: (20+30)/2 = 25.
+  EXPECT_DOUBLE_EQ(schedule_makespan(sizes, rates, {0, 1, 1}), 25.0);
+}
+
+TEST(Makespan, ValidatesInputs) {
+  EXPECT_THROW(schedule_makespan({1, 2}, {1.0}, {0}), std::invalid_argument);
+  EXPECT_THROW(schedule_makespan({1}, {1.0}, {5}), std::invalid_argument);
+  EXPECT_THROW(schedule_makespan({1}, {0.0}, {0}), std::invalid_argument);
+}
+
+// ---------- schedulers -------------------------------------------------------
+
+std::vector<double> uniform_tasks(std::size_t count, double size) {
+  return std::vector<double>(count, size);
+}
+
+/// Rates of the paper's Table 2 fleet (150 heterogeneous processors).
+std::vector<double> table2_rates() {
+  std::vector<double> rates;
+  for (const auto& node : cluster::table2_fleet()) {
+    rates.push_back(node.mflops);
+  }
+  return rates;
+}
+
+TEST(RoundRobin, AssignsCyclically) {
+  RoundRobinScheduler rr;
+  const Schedule s = rr.schedule(uniform_tasks(6, 1.0), {1.0, 1.0, 1.0});
+  EXPECT_EQ(s.assignment, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+  EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+}
+
+TEST(Greedy, BeatsRoundRobinOnHeterogeneousFleet) {
+  GreedyScheduler greedy;
+  RoundRobinScheduler rr;
+  const auto tasks = uniform_tasks(300, 1'000'000.0);
+  const auto rates = table2_rates();
+  const Schedule g = greedy.schedule(tasks, rates);
+  const Schedule r = rr.schedule(tasks, rates);
+  EXPECT_LT(g.makespan, r.makespan);
+}
+
+TEST(Greedy, PerfectBalanceOnHomogeneousUniformTasks) {
+  GreedyScheduler greedy;
+  const Schedule s = greedy.schedule(uniform_tasks(40, 2.0),
+                                     std::vector<double>(8, 1.0));
+  EXPECT_DOUBLE_EQ(s.makespan, 40.0 * 2.0 / 8.0);
+}
+
+TEST(Ga, ParamsValidation) {
+  GaScheduler::Params params;
+  EXPECT_NO_THROW(params.validate());
+  params.population = 1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.population = 10;
+  params.elites = 10;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.elites = 2;
+  params.mutation_rate = 1.5;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(Ga, RejectsEmptyInputs) {
+  GaScheduler ga;
+  EXPECT_THROW(ga.schedule({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(ga.schedule({1.0}, {}), std::invalid_argument);
+}
+
+TEST(Ga, IsDeterministicForFixedSeed) {
+  GaScheduler::Params params;
+  params.generations = 30;
+  GaScheduler a(params);
+  GaScheduler b(params);
+  const auto tasks = uniform_tasks(50, 3.0);
+  const std::vector<double> rates = {1.0, 2.0, 4.0};
+  EXPECT_EQ(a.schedule(tasks, rates).assignment,
+            b.schedule(tasks, rates).assignment);
+}
+
+TEST(Ga, NeverWorseThanGreedyWhenSeededWithIt) {
+  GaScheduler ga;  // seed_with_greedy = true, elitism keeps it
+  GreedyScheduler greedy;
+  const auto tasks = uniform_tasks(120, 1'000'000.0);
+  const auto rates = table2_rates();
+  const double ga_makespan = ga.schedule(tasks, rates).makespan;
+  const double greedy_makespan = greedy.schedule(tasks, rates).makespan;
+  EXPECT_LE(ga_makespan, greedy_makespan * (1.0 + 1e-12));
+}
+
+TEST(Ga, ImprovesOnRandomInitialPopulation) {
+  GaScheduler::Params params;
+  params.seed_with_greedy = false;
+  params.generations = 60;
+  GaScheduler ga(params);
+  const auto tasks = uniform_tasks(60, 5.0);
+  const std::vector<double> rates = {1.0, 1.0, 3.0, 5.0};
+  ga.schedule(tasks, rates);
+  const auto& curve = ga.convergence();
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_LT(curve.back(), curve.front());
+}
+
+TEST(Ga, ConvergenceIsMonotoneWithElitism) {
+  GaScheduler ga;  // elites >= 1 by default
+  ga.schedule(uniform_tasks(40, 2.0), {1.0, 2.0, 3.0});
+  const auto& curve = ga.convergence();
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+  }
+}
+
+TEST(Ga, ApproachesRateProportionalLowerBound) {
+  // Lower bound on makespan: total work / total rate.
+  GaScheduler::Params params;
+  params.generations = 200;
+  GaScheduler ga(params);
+  const auto tasks = uniform_tasks(100, 7.0);
+  const std::vector<double> rates = {1.0, 2.0, 3.0, 4.0};
+  const Schedule s = ga.schedule(tasks, rates);
+  const double bound = 100.0 * 7.0 / (1.0 + 2.0 + 3.0 + 4.0);
+  EXPECT_GE(s.makespan, bound - 1e-9);
+  EXPECT_LE(s.makespan, bound * 1.15);  // within 15% of the bound
+}
+
+TEST(Ga, AssignmentUsesOnlyValidProcessors) {
+  GaScheduler ga;
+  const Schedule s = ga.schedule(uniform_tasks(30, 1.0), {1.0, 2.0});
+  for (std::size_t p : s.assignment) EXPECT_LT(p, 2u);
+  EXPECT_EQ(s.assignment.size(), 30u);
+}
+
+TEST(Schedulers, NamesAreStable) {
+  EXPECT_EQ(RoundRobinScheduler{}.name(), "round-robin");
+  EXPECT_EQ(GreedyScheduler{}.name(), "greedy-lpt");
+  EXPECT_EQ(GaScheduler{}.name(), "genetic");
+}
+
+}  // namespace
+}  // namespace phodis::dist
