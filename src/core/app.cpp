@@ -95,7 +95,7 @@ RunSummary MonteCarloApp::run_distributed(
   // std::map iteration is ordered by task id: the merge order (and hence
   // the floating-point result) never depends on completion order.
   const mc::Kernel kernel(spec_.kernel);
-  RunSummary summary{kernel.make_tally()};
+  RunSummary summary{.tally = kernel.make_tally()};
   for (const auto& [task_id, bytes] : report.results) {
     util::ByteReader reader(bytes);
     summary.tally.merge(mc::SimulationTally::deserialize(reader));

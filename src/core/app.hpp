@@ -8,9 +8,12 @@
 //
 // The app splits a photon budget into tasks, runs them on the distributed
 // runtime (or serially), and merges the returned tallies **in task-id
-// order**, so the final result is bitwise identical regardless of worker
-// count, scheduling, injected faults, or whether the run was serial —
-// the reproducibility property DESIGN.md §4.1 commits to.
+// order**, so for a given task plan (chunk size) the final result is
+// bitwise identical regardless of worker count, scheduling, injected
+// faults, or whether the run was serial — the reproducibility property
+// DESIGN.md §4.1 commits to. Note the task plan itself is only fixed
+// when chunk_photons is explicit: auto-chunking (chunk_photons = 0)
+// scales the chunk size with the worker count.
 #pragma once
 
 #include <cstdint>
@@ -46,7 +49,7 @@ struct RunSummary {
   mc::SimulationTally tally;
   std::uint64_t tasks = 0;
   double wall_seconds = 0.0;
-  dist::DataManagerStats manager_stats;
+  dist::DataManagerStats manager_stats{};
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_dropped = 0;
   std::uint64_t bytes_sent = 0;
@@ -58,7 +61,9 @@ class MonteCarloApp {
   explicit MonteCarloApp(SimulationSpec spec);
 
   /// Single-threaded execution of the same task plan; merging in task-id
-  /// order makes this bitwise identical to run_distributed.
+  /// order makes this bitwise identical to run_distributed with the same
+  /// explicit chunk_photons (0 auto-sizes for a single worker, which in
+  /// general differs from the multi-worker auto plan).
   mc::SimulationTally run_serial(std::uint64_t chunk_photons = 0) const;
 
   /// Full platform execution: DataManager + worker pool over the loopback

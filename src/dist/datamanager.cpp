@@ -1,0 +1,181 @@
+#include "dist/datamanager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace phodis::dist {
+
+DataManager::DataManager(double lease_duration_s)
+    : lease_duration_s_(lease_duration_s) {
+  if (!(lease_duration_s > 0.0)) {
+    throw std::invalid_argument("DataManager: lease duration must be > 0");
+  }
+}
+
+void DataManager::add_task(std::uint64_t task_id,
+                           std::vector<std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      tasks_.emplace(task_id, Task{std::move(payload), State::kPending, {}, 0.0});
+  if (!inserted) {
+    throw std::invalid_argument("DataManager: duplicate task id " +
+                                std::to_string(task_id));
+  }
+  queue_.push_back(task_id);
+  ++pending_;
+  ++stats_.tasks_added;
+}
+
+std::optional<TaskRecord> DataManager::lease_next(const std::string& worker,
+                                                  double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!queue_.empty()) {
+    const std::uint64_t id = queue_.front();
+    queue_.pop_front();
+    Task& task = tasks_.at(id);
+    if (task.state != State::kPending) continue;  // stale queue entry
+    task.state = State::kInFlight;
+    task.worker = worker;
+    task.lease_deadline = now + lease_duration_s_;
+    --pending_;
+    ++in_flight_;
+    ++stats_.assignments;
+    return TaskRecord{id, task.payload};
+  }
+  return std::nullopt;
+}
+
+bool DataManager::complete(std::uint64_t task_id,
+                           const std::string& /*worker*/, double /*now*/) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    ++stats_.unknown_results;
+    return false;
+  }
+  Task& task = it->second;
+  switch (task.state) {
+    case State::kCompleted:
+      ++stats_.duplicate_results;
+      return false;
+    case State::kInFlight:
+      --in_flight_;
+      break;
+    case State::kPending:
+      // Expired-and-requeued task whose original worker finally answered;
+      // its stale queue entry will be skipped by lease_next.
+      --pending_;
+      break;
+  }
+  task.state = State::kCompleted;
+  task.worker.clear();
+  ++completed_;
+  ++stats_.completions;
+  return true;
+}
+
+std::size_t DataManager::expire_leases(double now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t reclaimed = 0;
+  for (auto& [id, task] : tasks_) {
+    if (task.state == State::kInFlight && now >= task.lease_deadline) {
+      task.state = State::kPending;
+      task.worker.clear();
+      queue_.push_back(id);
+      --in_flight_;
+      ++pending_;
+      ++stats_.lease_expirations;
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+std::size_t DataManager::evict_worker(const std::string& worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t reclaimed = 0;
+  for (auto& [id, task] : tasks_) {
+    if (task.state == State::kInFlight && task.worker == worker) {
+      task.state = State::kPending;
+      task.worker.clear();
+      queue_.push_back(id);
+      --in_flight_;
+      ++pending_;
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+std::size_t DataManager::pending_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+std::size_t DataManager::in_flight_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+std::uint64_t DataManager::completed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+bool DataManager::all_done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_ == tasks_.size();
+}
+
+DataManagerStats DataManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void DataManager::checkpoint(util::ByteWriter& writer) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  writer.u64(tasks_.size());
+  for (const auto& [id, task] : tasks_) {
+    writer.u64(id);
+    writer.boolean(task.state == State::kCompleted);
+    writer.blob(task.payload);
+  }
+}
+
+void DataManager::restore(util::ByteReader& reader) {
+  // Stage fully before touching any member, so malformed input (truncation,
+  // duplicate ids) leaves the manager untouched.
+  const std::uint64_t count = reader.u64();
+  std::map<std::uint64_t, Task> staged;
+  std::deque<std::uint64_t> staged_queue;
+  std::uint64_t staged_completed = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = reader.u64();
+    Task task;
+    task.state = reader.boolean() ? State::kCompleted : State::kPending;
+    task.payload = reader.blob();
+    const bool completed = task.state == State::kCompleted;
+    if (!staged.emplace(id, std::move(task)).second) {
+      throw std::invalid_argument(
+          "DataManager: duplicate task id in checkpoint");
+    }
+    if (completed) {
+      ++staged_completed;
+    } else {
+      staged_queue.push_back(id);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!tasks_.empty()) {
+    throw std::logic_error(
+        "DataManager: restore target already holds tasks");
+  }
+  tasks_ = std::move(staged);
+  queue_ = std::move(staged_queue);
+  pending_ = queue_.size();
+  completed_ = staged_completed;
+  stats_.tasks_added += count;
+}
+
+}  // namespace phodis::dist

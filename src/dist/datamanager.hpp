@@ -1,0 +1,107 @@
+// DataManager — the server-side task pool of the paper's platform.
+//
+//   "The DataManager, which resides on the server, assigns simulations to
+//    client PCs and processes the returned results."
+//
+// Tasks are leased to workers FIFO with a deadline; a lease that expires
+// (worker too slow, dead, or its assignment lost on the wire) puts the
+// task back in the queue. Completion is exactly-once: the first result
+// for a task wins, late or duplicate copies are counted and discarded.
+// All operations are thread-safe. Time is passed in explicitly (seconds,
+// any monotonic origin) so tests and the discrete-event simulator can
+// drive the clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace phodis::dist {
+
+/// One unit of work: an opaque payload keyed by task id.
+struct TaskRecord {
+  std::uint64_t task_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct DataManagerStats {
+  std::uint64_t tasks_added = 0;
+  std::uint64_t assignments = 0;        ///< leases issued (re-issues count)
+  std::uint64_t completions = 0;        ///< first-time completions
+  std::uint64_t lease_expirations = 0;  ///< leases reclaimed by expiry
+  std::uint64_t duplicate_results = 0;  ///< results for already-done tasks
+  std::uint64_t unknown_results = 0;    ///< results for unknown task ids
+};
+
+class DataManager {
+ public:
+  /// `lease_duration_s` must be > 0.
+  explicit DataManager(double lease_duration_s);
+
+  /// Register a new task. Duplicate ids (including completed ones) throw.
+  void add_task(std::uint64_t task_id, std::vector<std::uint8_t> payload);
+
+  /// Lease the oldest pending task to `worker` until now + lease duration.
+  std::optional<TaskRecord> lease_next(const std::string& worker, double now);
+
+  /// Accept a result. Returns true exactly once per task — for the first
+  /// result, from whichever worker delivers it (even one whose lease has
+  /// since expired). Duplicates and unknown ids return false.
+  bool complete(std::uint64_t task_id, const std::string& worker, double now);
+
+  /// Requeue every lease whose deadline has been reached. Returns how
+  /// many were reclaimed.
+  std::size_t expire_leases(double now);
+
+  /// Requeue every task currently leased to `worker` (worker declared
+  /// dead). Returns how many leases were reclaimed.
+  std::size_t evict_worker(const std::string& worker);
+
+  std::size_t pending_count() const;
+  std::size_t in_flight_count() const;
+  std::uint64_t completed_count() const;
+  /// True when every registered task has completed (vacuously true when
+  /// no tasks were ever added).
+  bool all_done() const;
+
+  DataManagerStats stats() const;
+
+  /// Serialise the pool: every task's payload plus its completion bit.
+  /// In-flight leases are not persisted — on restore they are pending
+  /// again (the restore-side server re-issues them).
+  void checkpoint(util::ByteWriter& writer) const;
+
+  /// Rebuild the pool from a checkpoint. Only valid on a manager that
+  /// has never held tasks (throws std::logic_error otherwise); malformed
+  /// input throws without mutating the manager.
+  void restore(util::ByteReader& reader);
+
+ private:
+  enum class State : std::uint8_t { kPending, kInFlight, kCompleted };
+
+  struct Task {
+    std::vector<std::uint8_t> payload;
+    State state = State::kPending;
+    std::string worker;           ///< lease holder when in flight
+    double lease_deadline = 0.0;  ///< when in flight
+  };
+
+  mutable std::mutex mutex_;
+  double lease_duration_s_;
+  std::map<std::uint64_t, Task> tasks_;
+  /// FIFO of candidate ids; may hold stale entries for tasks that left
+  /// the pending state (lease_next skips those lazily).
+  std::deque<std::uint64_t> queue_;
+  std::size_t pending_ = 0;
+  std::size_t in_flight_ = 0;
+  std::uint64_t completed_ = 0;
+  DataManagerStats stats_;
+};
+
+}  // namespace phodis::dist

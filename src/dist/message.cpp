@@ -1,0 +1,64 @@
+#include "dist/message.hpp"
+
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace phodis::dist {
+
+namespace {
+constexpr std::uint8_t kMaxTypeTag =
+    static_cast<std::uint8_t>(MessageType::kShutdown);
+}  // namespace
+
+std::string to_string(MessageType type) {
+  switch (type) {
+    case MessageType::kRequestWork:
+      return "RequestWork";
+    case MessageType::kAssignTask:
+      return "AssignTask";
+    case MessageType::kTaskResult:
+      return "TaskResult";
+    case MessageType::kNoWork:
+      return "NoWork";
+    case MessageType::kShutdown:
+      return "Shutdown";
+  }
+  return "Unknown";
+}
+
+std::vector<std::uint8_t> Message::encode() const {
+  util::ByteWriter writer;
+  writer.u8(static_cast<std::uint8_t>(type));
+  writer.u64(task_id);
+  writer.str(sender);
+  writer.blob(payload);
+  return writer.take();
+}
+
+Message Message::decode(const std::vector<std::uint8_t>& frame) {
+  util::ByteReader reader(frame);
+  Message msg;
+  const std::uint8_t tag = reader.u8();
+  if (tag > kMaxTypeTag) {
+    throw std::invalid_argument("Message: unknown type tag " +
+                                std::to_string(tag));
+  }
+  msg.type = static_cast<MessageType>(tag);
+  msg.task_id = reader.u64();
+  msg.sender = reader.str();
+  msg.payload = reader.blob();
+  if (!reader.exhausted()) {
+    throw std::length_error("Message: trailing bytes after payload");
+  }
+  return msg;
+}
+
+void FaultSpec::validate() const {
+  if (!(drop_probability >= 0.0) || drop_probability >= 1.0) {
+    throw std::invalid_argument(
+        "FaultSpec: drop_probability must be in [0, 1)");
+  }
+}
+
+}  // namespace phodis::dist

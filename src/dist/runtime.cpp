@@ -1,0 +1,164 @@
+#include "dist/runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "dist/transport.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace phodis::dist {
+
+namespace {
+
+constexpr const char* kServerEndpoint = "server";
+/// Worker-side wait for a server reply; short so lost frames are retried
+/// well inside even sub-second lease durations.
+constexpr std::int64_t kWorkerReplyTimeoutMs = 20;
+/// Server-side receive timeout, which also bounds the lease-expiry poll
+/// interval.
+constexpr std::int64_t kServerPollTimeoutMs = 5;
+
+}  // namespace
+
+void RuntimeConfig::validate() const {
+  if (worker_count == 0) {
+    throw std::invalid_argument("RuntimeConfig: need >= 1 worker");
+  }
+  if (!(lease_duration_s > 0.0)) {
+    throw std::invalid_argument("RuntimeConfig: lease must be > 0");
+  }
+  transport_faults.validate();
+  if (worker_death_probability < 0.0 || worker_death_probability >= 1.0) {
+    throw std::invalid_argument(
+        "RuntimeConfig: worker_death_probability must be in [0, 1)");
+  }
+}
+
+Runtime::Runtime(RuntimeConfig config) : config_(config) {
+  config_.validate();
+}
+
+RuntimeReport Runtime::run(const std::vector<TaskRecord>& tasks,
+                           const TaskExecutor& executor) {
+  util::Stopwatch clock;
+  LoopbackTransport transport(config_.transport_faults);
+  DataManager manager(config_.lease_duration_s);
+  for (const TaskRecord& task : tasks) {
+    manager.add_task(task.task_id, task.payload);
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> deaths{0};
+  // Current endpoint name per worker slot, so the server can address the
+  // final Shutdown even after reincarnations.
+  std::vector<std::string> names(config_.worker_count);
+  std::mutex names_mutex;
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    names[i] = "w" + std::to_string(i);
+  }
+
+  const auto worker_main = [&](std::size_t slot) {
+    util::Xoshiro256pp death_rng(util::mix64(config_.fault_seed, slot));
+    std::size_t incarnation = 0;
+    std::string name = "w" + std::to_string(slot);
+    while (!done.load()) {
+      Message request;
+      request.type = MessageType::kRequestWork;
+      request.sender = name;
+      transport.send(kServerEndpoint, request);
+      const auto reply = transport.receive(name, kWorkerReplyTimeoutMs);
+      if (!reply) continue;  // lost frame, timeout, or transport shutdown
+      switch (reply->type) {
+        case MessageType::kAssignTask: {
+          if (config_.worker_death_probability > 0.0 &&
+              death_rng.uniform() < config_.worker_death_probability) {
+            // The worker dies holding this assignment; the lease expires
+            // server-side. A replacement joins under a fresh name (frames
+            // still in flight to the dead name are orphaned on purpose).
+            deaths.fetch_add(1);
+            ++incarnation;
+            name = "w" + std::to_string(slot) + "#" +
+                   std::to_string(incarnation);
+            std::lock_guard<std::mutex> lock(names_mutex);
+            names[slot] = name;
+            break;
+          }
+          Message result;
+          result.type = MessageType::kTaskResult;
+          result.task_id = reply->task_id;
+          result.sender = name;
+          result.payload = executor(reply->task_id, reply->payload);
+          transport.send(kServerEndpoint, result);
+          break;
+        }
+        case MessageType::kNoWork:
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          break;
+        case MessageType::kShutdown:
+          return;
+        default:
+          break;  // protocol noise; ignore
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(config_.worker_count);
+  for (std::size_t i = 0; i < config_.worker_count; ++i) {
+    workers.emplace_back(worker_main, i);
+  }
+
+  RuntimeReport report;
+  while (!manager.all_done()) {
+    auto msg = transport.receive(kServerEndpoint, kServerPollTimeoutMs);
+    const double now = clock.seconds();
+    manager.expire_leases(now);
+    if (!msg) continue;
+    if (msg->type == MessageType::kRequestWork) {
+      Message reply;
+      reply.sender = kServerEndpoint;
+      if (auto task = manager.lease_next(msg->sender, now)) {
+        reply.type = MessageType::kAssignTask;
+        reply.task_id = task->task_id;
+        reply.payload = std::move(task->payload);
+      } else {
+        reply.type = manager.all_done() ? MessageType::kShutdown
+                                        : MessageType::kNoWork;
+      }
+      transport.send(msg->sender, reply);
+    } else if (msg->type == MessageType::kTaskResult) {
+      if (manager.complete(msg->task_id, msg->sender, now)) {
+        report.results.emplace(msg->task_id, std::move(msg->payload));
+      }
+    }
+  }
+
+  // Drain: tell every live worker to exit, then close the transport so
+  // any receiver that missed (or lost) its Shutdown frame wakes up too.
+  {
+    std::lock_guard<std::mutex> lock(names_mutex);
+    for (const std::string& name : names) {
+      Message shutdown_msg;
+      shutdown_msg.type = MessageType::kShutdown;
+      shutdown_msg.sender = kServerEndpoint;
+      transport.send(name, shutdown_msg);
+    }
+  }
+  done.store(true);
+  transport.shutdown();
+  for (std::thread& worker : workers) worker.join();
+
+  report.manager_stats = manager.stats();
+  report.frames_sent = transport.frames_sent();
+  report.frames_dropped = transport.frames_dropped();
+  report.bytes_sent = transport.bytes_sent();
+  report.workers_died = deaths.load();
+  report.wall_seconds = clock.seconds();
+  return report;
+}
+
+}  // namespace phodis::dist

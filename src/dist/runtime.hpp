@@ -1,0 +1,66 @@
+// The in-process distributed runtime: a DataManager server plus a pool
+// of worker threads speaking the RequestWork/AssignTask/TaskResult
+// protocol over the loopback transport.
+//
+// Faults are first-class: frames may be dropped (FaultSpec) and workers
+// may die mid-assignment (worker_death_probability); lease expiry plus
+// exactly-once completion in the DataManager guarantee every task's
+// result is collected exactly once regardless. A dead worker is replaced
+// immediately (the fleet keeps its size), modelling the paper's
+// non-dedicated client churn.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/datamanager.hpp"
+#include "dist/message.hpp"
+
+namespace phodis::dist {
+
+struct RuntimeConfig {
+  std::size_t worker_count = 2;
+  double lease_duration_s = 30.0;
+  FaultSpec transport_faults;
+  /// Per-assignment probability that the worker dies instead of
+  /// executing, in [0, 1). Its replacement joins under a fresh name.
+  double worker_death_probability = 0.0;
+  /// Seed of the worker-death streams (independent of transport faults).
+  std::uint64_t fault_seed = 2006;
+
+  void validate() const;
+};
+
+/// Computes a task's result bytes from (task_id, payload). Must be
+/// thread-safe; called concurrently from worker threads.
+using TaskExecutor = std::function<std::vector<std::uint8_t>(
+    std::uint64_t, const std::vector<std::uint8_t>&)>;
+
+struct RuntimeReport {
+  /// First-accepted result per task, keyed (and hence iterated) by id.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> results;
+  DataManagerStats manager_stats;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::size_t workers_died = 0;
+  double wall_seconds = 0.0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+
+  /// Run every task to completion and collect the results. Blocks until
+  /// the pool has drained; the server loop runs on the calling thread.
+  RuntimeReport run(const std::vector<TaskRecord>& tasks,
+                    const TaskExecutor& executor);
+
+ private:
+  RuntimeConfig config_;
+};
+
+}  // namespace phodis::dist

@@ -1,0 +1,231 @@
+#include "dist/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace phodis::dist {
+
+namespace {
+
+void validate_inputs(const std::vector<double>& sizes,
+                     const std::vector<double>& rates) {
+  if (sizes.empty()) {
+    throw std::invalid_argument("scheduler: no tasks to schedule");
+  }
+  if (rates.empty()) {
+    throw std::invalid_argument("scheduler: no processors");
+  }
+  for (double rate : rates) {
+    if (!(rate > 0.0)) {
+      throw std::invalid_argument("scheduler: rates must be > 0");
+    }
+  }
+}
+
+/// Makespan of an assignment assumed to be in range (internal fast path).
+double makespan_of(const std::vector<double>& sizes,
+                   const std::vector<double>& rates,
+                   const std::vector<std::size_t>& assignment) {
+  std::vector<double> loads(rates.size(), 0.0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    loads[assignment[i]] += sizes[i];
+  }
+  double makespan = 0.0;
+  for (std::size_t p = 0; p < rates.size(); ++p) {
+    makespan = std::max(makespan, loads[p] / rates[p]);
+  }
+  return makespan;
+}
+
+std::vector<std::size_t> greedy_lpt_assignment(
+    const std::vector<double>& sizes, const std::vector<double>& rates) {
+  std::vector<std::size_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return sizes[a] > sizes[b];
+                   });
+  std::vector<double> loads(rates.size(), 0.0);
+  std::vector<std::size_t> assignment(sizes.size(), 0);
+  for (std::size_t task : order) {
+    std::size_t best = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < rates.size(); ++p) {
+      const double finish = (loads[p] + sizes[task]) / rates[p];
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = p;
+      }
+    }
+    loads[best] += sizes[task];
+    assignment[task] = best;
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> chunk_plan(std::uint64_t total,
+                                      std::uint64_t chunk) {
+  if (total == 0 || chunk == 0) {
+    throw std::invalid_argument("chunk_plan: total and chunk must be > 0");
+  }
+  std::vector<std::uint64_t> chunks(total / chunk, chunk);
+  if (const std::uint64_t remainder = total % chunk; remainder != 0) {
+    chunks.push_back(remainder);
+  }
+  return chunks;
+}
+
+std::uint64_t suggest_chunk_size(std::uint64_t total, std::size_t processors,
+                                 std::uint64_t pulls_per_processor) {
+  if (total == 0 || processors == 0 || pulls_per_processor == 0) {
+    throw std::invalid_argument(
+        "suggest_chunk_size: all arguments must be > 0");
+  }
+  const std::uint64_t pulls = processors * pulls_per_processor;
+  return std::max<std::uint64_t>(1, total / pulls);
+}
+
+double schedule_makespan(const std::vector<double>& sizes,
+                         const std::vector<double>& rates,
+                         const std::vector<std::size_t>& assignment) {
+  validate_inputs(sizes, rates);
+  if (assignment.size() != sizes.size()) {
+    throw std::invalid_argument(
+        "schedule_makespan: assignment/sizes length mismatch");
+  }
+  for (std::size_t p : assignment) {
+    if (p >= rates.size()) {
+      throw std::invalid_argument(
+          "schedule_makespan: assignment names an unknown processor");
+    }
+  }
+  return makespan_of(sizes, rates, assignment);
+}
+
+Schedule RoundRobinScheduler::schedule(const std::vector<double>& sizes,
+                                       const std::vector<double>& rates) {
+  validate_inputs(sizes, rates);
+  Schedule result;
+  result.assignment.resize(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    result.assignment[i] = i % rates.size();
+  }
+  result.makespan = makespan_of(sizes, rates, result.assignment);
+  return result;
+}
+
+Schedule GreedyScheduler::schedule(const std::vector<double>& sizes,
+                                   const std::vector<double>& rates) {
+  validate_inputs(sizes, rates);
+  Schedule result;
+  result.assignment = greedy_lpt_assignment(sizes, rates);
+  result.makespan = makespan_of(sizes, rates, result.assignment);
+  return result;
+}
+
+void GaScheduler::Params::validate() const {
+  if (population < 2) {
+    throw std::invalid_argument("GaScheduler: population must be >= 2");
+  }
+  if (elites >= population) {
+    throw std::invalid_argument("GaScheduler: elites must be < population");
+  }
+  if (mutation_rate < 0.0 || mutation_rate > 1.0) {
+    throw std::invalid_argument(
+        "GaScheduler: mutation_rate must be in [0, 1]");
+  }
+  if (tournament == 0) {
+    throw std::invalid_argument("GaScheduler: tournament must be >= 1");
+  }
+}
+
+GaScheduler::GaScheduler(Params params) : params_(params) {
+  params_.validate();
+}
+
+Schedule GaScheduler::schedule(const std::vector<double>& sizes,
+                               const std::vector<double>& rates) {
+  validate_inputs(sizes, rates);
+  const std::size_t n = sizes.size();
+  const std::size_t m = rates.size();
+  util::Xoshiro256pp rng(params_.seed);
+  const auto random_processor = [&] {
+    return static_cast<std::size_t>(rng.next() % m);
+  };
+
+  struct Individual {
+    std::vector<std::size_t> genes;
+    double fitness = 0.0;  // makespan, lower is better
+  };
+  const auto evaluate = [&](Individual& ind) {
+    ind.fitness = makespan_of(sizes, rates, ind.genes);
+  };
+
+  std::vector<Individual> population(params_.population);
+  for (Individual& ind : population) {
+    ind.genes.resize(n);
+    for (std::size_t& gene : ind.genes) gene = random_processor();
+    evaluate(ind);
+  }
+  if (params_.seed_with_greedy) {
+    population.front().genes = greedy_lpt_assignment(sizes, rates);
+    evaluate(population.front());
+  }
+
+  const auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  // stable_sort keeps ties in a deterministic order.
+  std::stable_sort(population.begin(), population.end(), by_fitness);
+  convergence_.clear();
+  convergence_.reserve(params_.generations + 1);
+  convergence_.push_back(population.front().fitness);
+
+  const auto tournament_pick = [&]() -> const Individual& {
+    std::size_t best = rng.next() % params_.population;
+    for (std::size_t k = 1; k < params_.tournament; ++k) {
+      const std::size_t challenger = rng.next() % params_.population;
+      if (population[challenger].fitness < population[best].fitness) {
+        best = challenger;
+      }
+    }
+    return population[best];
+  };
+
+  std::vector<Individual> next(params_.population);
+  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    for (std::size_t e = 0; e < params_.elites; ++e) {
+      next[e] = population[e];
+    }
+    for (std::size_t i = params_.elites; i < params_.population; ++i) {
+      const Individual& mother = tournament_pick();
+      const Individual& father = tournament_pick();
+      Individual& child = next[i];
+      child.genes.resize(n);
+      for (std::size_t g = 0; g < n; ++g) {
+        child.genes[g] =
+            (rng.next() & 1) ? mother.genes[g] : father.genes[g];
+        if (rng.uniform() < params_.mutation_rate) {
+          child.genes[g] = random_processor();
+        }
+      }
+      evaluate(child);
+    }
+    population.swap(next);
+    std::stable_sort(population.begin(), population.end(), by_fitness);
+    convergence_.push_back(population.front().fitness);
+  }
+
+  Schedule result;
+  result.assignment = population.front().genes;
+  result.makespan = population.front().fitness;
+  return result;
+}
+
+}  // namespace phodis::dist

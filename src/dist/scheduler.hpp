@@ -1,0 +1,104 @@
+// Work partitioning and static schedulers.
+//
+// chunk_plan / suggest_chunk_size split the photon budget into tasks for
+// dynamic self-scheduling. The StaticScheduler hierarchy precomputes a
+// task → processor assignment for heterogeneous fleets instead:
+// rate-blind round-robin, greedy LPT (earliest-finish-time on related
+// machines), and the genetic-algorithm scheduler reproducing the paper's
+// ref. [4] (Page & Naughton 2005). Quality is compared by makespan under
+// the simple load/rate machine model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phodis::dist {
+
+/// Split `total` into ceil(total/chunk) task sizes: full chunks plus the
+/// remainder as the (smaller) last chunk. Both arguments must be > 0.
+std::vector<std::uint64_t> chunk_plan(std::uint64_t total,
+                                      std::uint64_t chunk);
+
+/// Chunk size giving each of `processors` about `pulls_per_processor`
+/// task pulls, floored at 1. `total` and `processors` must be > 0.
+std::uint64_t suggest_chunk_size(std::uint64_t total, std::size_t processors,
+                                 std::uint64_t pulls_per_processor = 4);
+
+/// Makespan of `assignment` (task index -> processor index) under the
+/// related-machines model: max over processors of (assigned work / rate).
+double schedule_makespan(const std::vector<double>& sizes,
+                         const std::vector<double>& rates,
+                         const std::vector<std::size_t>& assignment);
+
+/// A precomputed assignment with its model makespan.
+struct Schedule {
+  std::vector<std::size_t> assignment;
+  double makespan = 0.0;
+};
+
+class StaticScheduler {
+ public:
+  virtual ~StaticScheduler() = default;
+
+  /// Assign each task (work size) to a processor (rate). Both vectors
+  /// must be non-empty and rates must be positive.
+  virtual Schedule schedule(const std::vector<double>& sizes,
+                            const std::vector<double>& rates) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Rate-blind cyclic assignment: task i -> processor i mod m.
+class RoundRobinScheduler final : public StaticScheduler {
+ public:
+  Schedule schedule(const std::vector<double>& sizes,
+                    const std::vector<double>& rates) override;
+  std::string name() const override { return "round-robin"; }
+};
+
+/// Greedy LPT for related machines: tasks in decreasing size order, each
+/// to the processor that would finish it earliest.
+class GreedyScheduler final : public StaticScheduler {
+ public:
+  Schedule schedule(const std::vector<double>& sizes,
+                    const std::vector<double>& rates) override;
+  std::string name() const override { return "greedy-lpt"; }
+};
+
+/// Genetic-algorithm scheduler: chromosomes are assignments, fitness is
+/// makespan; tournament selection, uniform crossover, per-gene mutation,
+/// elitism. Deterministic for a fixed seed.
+class GaScheduler final : public StaticScheduler {
+ public:
+  struct Params {
+    std::size_t population = 32;
+    std::size_t generations = 100;
+    std::size_t elites = 2;        ///< best kept unchanged each generation
+    double mutation_rate = 0.02;   ///< per-gene reassignment probability
+    std::size_t tournament = 3;    ///< selection tournament size
+    bool seed_with_greedy = true;  ///< plant the LPT schedule in gen 0
+    std::uint64_t seed = 2006;
+
+    void validate() const;
+  };
+
+  GaScheduler() : GaScheduler(Params{}) {}
+  explicit GaScheduler(Params params);
+
+  Schedule schedule(const std::vector<double>& sizes,
+                    const std::vector<double>& rates) override;
+  std::string name() const override { return "genetic"; }
+
+  /// Best makespan per generation of the last schedule() call (entry 0
+  /// is the initial population's best).
+  const std::vector<double>& convergence() const noexcept {
+    return convergence_;
+  }
+
+ private:
+  Params params_;
+  std::vector<double> convergence_;
+};
+
+}  // namespace phodis::dist

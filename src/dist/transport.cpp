@@ -1,0 +1,82 @@
+#include "dist/transport.hpp"
+
+#include <chrono>
+
+namespace phodis::dist {
+
+LoopbackTransport::LoopbackTransport(const FaultSpec& faults)
+    : drop_rng_(faults.seed), drop_probability_(faults.drop_probability) {
+  faults.validate();
+}
+
+void LoopbackTransport::send(const std::string& endpoint,
+                             const Message& msg) {
+  std::vector<std::uint8_t> frame = msg.encode();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    ++frames_sent_;
+    bytes_sent_ += frame.size();
+    if (drop_probability_ > 0.0 &&
+        drop_rng_.uniform() < drop_probability_) {
+      ++frames_dropped_;
+      return;
+    }
+    queues_[endpoint].push_back(std::move(frame));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> LoopbackTransport::try_receive(
+    const std::string& endpoint) {
+  std::vector<std::uint8_t> frame;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return std::nullopt;
+    auto it = queues_.find(endpoint);
+    if (it == queues_.end() || it->second.empty()) return std::nullopt;
+    frame = std::move(it->second.front());
+    it->second.pop_front();
+  }
+  return Message::decode(frame);
+}
+
+std::optional<Message> LoopbackTransport::receive(
+    const std::string& endpoint, std::int64_t timeout_ms) {
+  std::vector<std::uint8_t> frame;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto& queue = queues_[endpoint];
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                 [&] { return shutdown_ || !queue.empty(); });
+    if (shutdown_ || queue.empty()) return std::nullopt;
+    frame = std::move(queue.front());
+    queue.pop_front();
+  }
+  return Message::decode(frame);
+}
+
+void LoopbackTransport::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t LoopbackTransport::frames_sent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_sent_;
+}
+
+std::uint64_t LoopbackTransport::frames_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_dropped_;
+}
+
+std::uint64_t LoopbackTransport::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_sent_;
+}
+
+}  // namespace phodis::dist

@@ -39,6 +39,12 @@ class ByteWriter {
     for (double x : v) f64(x);
   }
 
+  /// Length-prefixed opaque byte blob.
+  void blob(const std::vector<std::uint8_t>& v) {
+    u64(v.size());
+    buf_.insert(buf_.end(), v.begin(), v.end());
+  }
+
   const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
   std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
   std::size_t size() const noexcept { return buf_.size(); }
@@ -81,6 +87,16 @@ class ByteReader {
     std::memcpy(v.data(), buf_.data() + pos_,
                 static_cast<std::size_t>(len) * sizeof(double));
     pos_ += static_cast<std::size_t>(len) * sizeof(double);
+    return v;
+  }
+
+  std::vector<std::uint8_t> blob() {
+    const std::uint64_t len = u64();
+    require(len);
+    std::vector<std::uint8_t> v(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                buf_.begin() + static_cast<std::ptrdiff_t>(
+                                                   pos_ + len));
+    pos_ += static_cast<std::size_t>(len);
     return v;
   }
 

@@ -1,0 +1,109 @@
+// Scheduler edge cases beyond the core suite: chunk planning at exact
+// boundaries, makespan ordering of LPT vs round-robin on heterogeneous
+// rates, and genetic-scheduler determinism.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dist/scheduler.hpp"
+
+namespace phodis::dist {
+namespace {
+
+// ---------- chunk planning boundaries ---------------------------------------
+
+TEST(ChunkPlanEdge, TotalEqualsChunkGivesOneFullChunk) {
+  const auto chunks = chunk_plan(4096, 4096);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], 4096u);
+}
+
+TEST(ChunkPlanEdge, ChunkOfOneEnumeratesEveryUnit) {
+  const auto chunks = chunk_plan(17, 1);
+  EXPECT_EQ(chunks.size(), 17u);
+  EXPECT_EQ(std::accumulate(chunks.begin(), chunks.end(), 0ULL), 17ULL);
+}
+
+TEST(ChunkPlanEdge, OneBelowAndAboveExactDivision) {
+  EXPECT_EQ(chunk_plan(99, 25).back(), 24u);   // remainder 99 - 75
+  EXPECT_EQ(chunk_plan(101, 25).back(), 1u);   // remainder 101 - 100
+  EXPECT_EQ(chunk_plan(101, 25).size(), 5u);
+}
+
+// ---------- LPT vs round-robin on heterogeneous rates ------------------------
+
+TEST(SchedulerOrdering, LptNeverWorseThanRoundRobinOnHeterogeneousRates) {
+  const std::vector<double> tasks(64, 10.0);
+  GreedyScheduler greedy;
+  RoundRobinScheduler rr;
+  for (const auto& rates : {std::vector<double>{1.0, 10.0},
+                            std::vector<double>{1.0, 2.0, 4.0, 8.0},
+                            std::vector<double>{15.0, 30.0, 200.0}}) {
+    const double lpt = greedy.schedule(tasks, rates).makespan;
+    const double cyclic = rr.schedule(tasks, rates).makespan;
+    EXPECT_LE(lpt, cyclic);
+  }
+}
+
+TEST(SchedulerOrdering, RoundRobinPaysTheSlowestProcessor) {
+  // 3 uniform tasks on rates {1, 100, 100}: round-robin puts one task on
+  // the slow machine (makespan 5), LPT avoids it entirely.
+  const std::vector<double> tasks(3, 5.0);
+  const std::vector<double> rates = {1.0, 100.0, 100.0};
+  RoundRobinScheduler rr;
+  GreedyScheduler greedy;
+  EXPECT_DOUBLE_EQ(rr.schedule(tasks, rates).makespan, 5.0);
+  EXPECT_LE(greedy.schedule(tasks, rates).makespan, 0.15);
+}
+
+// ---------- genetic scheduler determinism ------------------------------------
+
+TEST(GaDeterminism, RandomInitRunsAreBitwiseReproducible) {
+  GaScheduler::Params params;
+  params.seed_with_greedy = false;
+  params.generations = 40;
+  params.seed = 77;
+  GaScheduler a(params);
+  GaScheduler b(params);
+  const std::vector<double> tasks(48, 3.0);
+  const std::vector<double> rates = {1.0, 2.0, 5.0};
+  const Schedule sa = a.schedule(tasks, rates);
+  const Schedule sb = b.schedule(tasks, rates);
+  EXPECT_EQ(sa.assignment, sb.assignment);
+  EXPECT_DOUBLE_EQ(sa.makespan, sb.makespan);
+  EXPECT_EQ(a.convergence(), b.convergence());
+}
+
+TEST(GaDeterminism, DifferentSeedsMayDiverge) {
+  // Not a strict requirement of the GA, but the seed must actually feed
+  // the stochastic path: two far-apart seeds on a rugged instance should
+  // not retrace the identical convergence curve.
+  GaScheduler::Params params;
+  params.seed_with_greedy = false;
+  params.generations = 25;
+  params.seed = 1;
+  GaScheduler a(params);
+  params.seed = 999983;
+  GaScheduler b(params);
+  std::vector<double> tasks;
+  for (std::size_t i = 0; i < 40; ++i) {
+    tasks.push_back(1.0 + static_cast<double>(i % 7));
+  }
+  const std::vector<double> rates = {1.0, 3.0, 4.0, 9.0};
+  a.schedule(tasks, rates);
+  b.schedule(tasks, rates);
+  EXPECT_NE(a.convergence(), b.convergence());
+}
+
+TEST(GaDeterminism, ScheduleCallResetsConvergence) {
+  GaScheduler ga;
+  const std::vector<double> tasks(20, 2.0);
+  const std::vector<double> rates = {1.0, 2.0};
+  ga.schedule(tasks, rates);
+  const std::size_t first = ga.convergence().size();
+  ga.schedule(tasks, rates);
+  EXPECT_EQ(ga.convergence().size(), first);
+}
+
+}  // namespace
+}  // namespace phodis::dist
