@@ -62,14 +62,10 @@ mc::SimulationTally MonteCarloApp::run_serial(
   return merged;
 }
 
-RunSummary MonteCarloApp::run_distributed(
-    const ExecutionOptions& options) const {
-  options.validate();
-  util::Stopwatch stopwatch;
-
+std::vector<dist::TaskRecord> MonteCarloApp::build_tasks(
+    std::uint64_t chunk_photons, std::size_t workers) const {
   const std::vector<std::uint64_t> chunks =
-      plan_chunks(options.chunk_photons, options.workers);
-
+      plan_chunks(chunk_photons, workers);
   std::vector<dist::TaskRecord> tasks;
   tasks.reserve(chunks.size());
   for (std::size_t task_id = 0; task_id < chunks.size(); ++task_id) {
@@ -78,6 +74,37 @@ RunSummary MonteCarloApp::run_distributed(
     payload.task_photons = chunks[task_id];
     tasks.push_back(dist::TaskRecord{task_id, payload.encode()});
   }
+  return tasks;
+}
+
+mc::SimulationTally MonteCarloApp::merge_results(
+    const std::map<std::uint64_t, std::vector<std::uint8_t>>& results)
+    const {
+  // std::map iteration is ordered by task id: the merge order (and hence
+  // the floating-point result) never depends on completion order.
+  const mc::Kernel kernel(spec_.kernel);
+  mc::SimulationTally merged = kernel.make_tally();
+  std::uint64_t expected_id = 0;
+  for (const auto& [task_id, bytes] : results) {
+    if (task_id != expected_id++) {
+      throw std::invalid_argument(
+          "MonteCarloApp: result ids are not the dense 0..n-1 of a task "
+          "plan (unexpected id " +
+          std::to_string(task_id) + ")");
+    }
+    util::ByteReader reader(bytes);
+    merged.merge(mc::SimulationTally::deserialize(reader));
+  }
+  return merged;
+}
+
+RunSummary MonteCarloApp::run_distributed(
+    const ExecutionOptions& options) const {
+  options.validate();
+  util::Stopwatch stopwatch;
+
+  const std::vector<dist::TaskRecord> tasks =
+      build_tasks(options.chunk_photons, options.workers);
 
   dist::RuntimeConfig runtime_config;
   runtime_config.worker_count = options.workers;
@@ -92,14 +119,7 @@ RunSummary MonteCarloApp::run_distributed(
     throw std::runtime_error("MonteCarloApp: missing task results");
   }
 
-  // std::map iteration is ordered by task id: the merge order (and hence
-  // the floating-point result) never depends on completion order.
-  const mc::Kernel kernel(spec_.kernel);
-  RunSummary summary{.tally = kernel.make_tally()};
-  for (const auto& [task_id, bytes] : report.results) {
-    util::ByteReader reader(bytes);
-    summary.tally.merge(mc::SimulationTally::deserialize(reader));
-  }
+  RunSummary summary{.tally = merge_results(report.results)};
   summary.tasks = tasks.size();
   summary.manager_stats = report.manager_stats;
   summary.frames_sent = report.frames_sent;

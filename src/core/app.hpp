@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "core/spec.hpp"
@@ -73,6 +74,20 @@ class MonteCarloApp {
   /// The task plan for a given chunk size (0 = auto for `workers`).
   std::vector<std::uint64_t> plan_chunks(std::uint64_t chunk_photons,
                                          std::size_t workers) const;
+
+  /// Encode the plan into TaskRecords — what run_distributed feeds the
+  /// in-process runtime and what phodis_server serves over sockets.
+  std::vector<dist::TaskRecord> build_tasks(std::uint64_t chunk_photons,
+                                            std::size_t workers) const;
+
+  /// Merge serialised partial tallies in task-id order; for a fixed task
+  /// plan the result is bitwise identical no matter which worker (or
+  /// process, or machine) computed each part. Every task plan numbers
+  /// its tasks 0..n-1, so results whose ids are not exactly that dense
+  /// range (e.g. from a stale checkpoint of a different run) throw.
+  mc::SimulationTally merge_results(
+      const std::map<std::uint64_t, std::vector<std::uint8_t>>& results)
+      const;
 
   const SimulationSpec& spec() const noexcept { return spec_; }
 

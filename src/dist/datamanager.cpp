@@ -1,9 +1,18 @@
 #include "dist/datamanager.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <utility>
 
 namespace phodis::dist {
+
+namespace {
+/// File header of checkpoint_to_file: 8 magic bytes + a format version.
+constexpr char kCheckpointMagic[8] = {'P', 'H', 'O', 'D', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
 
 DataManager::DataManager(double lease_duration_s)
     : lease_duration_s_(lease_duration_s) {
@@ -15,8 +24,8 @@ DataManager::DataManager(double lease_duration_s)
 void DataManager::add_task(std::uint64_t task_id,
                            std::vector<std::uint8_t> payload) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const auto [it, inserted] =
-      tasks_.emplace(task_id, Task{std::move(payload), State::kPending, {}, 0.0});
+  const auto [it, inserted] = tasks_.emplace(
+      task_id, Task{std::move(payload), State::kPending, {}, 0.0, {}});
   if (!inserted) {
     throw std::invalid_argument("DataManager: duplicate task id " +
                                 std::to_string(task_id));
@@ -46,7 +55,8 @@ std::optional<TaskRecord> DataManager::lease_next(const std::string& worker,
 }
 
 bool DataManager::complete(std::uint64_t task_id,
-                           const std::string& /*worker*/, double /*now*/) {
+                           const std::string& /*worker*/, double /*now*/,
+                           std::vector<std::uint8_t> result) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = tasks_.find(task_id);
   if (it == tasks_.end()) {
@@ -69,9 +79,20 @@ bool DataManager::complete(std::uint64_t task_id,
   }
   task.state = State::kCompleted;
   task.worker.clear();
+  task.result = std::move(result);
   ++completed_;
   ++stats_.completions;
   return true;
+}
+
+std::map<std::uint64_t, std::vector<std::uint8_t>> DataManager::results()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> out;
+  for (const auto& [id, task] : tasks_) {
+    if (task.state == State::kCompleted) out.emplace(id, task.result);
+  }
+  return out;
 }
 
 std::size_t DataManager::expire_leases(double now) {
@@ -139,6 +160,7 @@ void DataManager::checkpoint(util::ByteWriter& writer) const {
     writer.u64(id);
     writer.boolean(task.state == State::kCompleted);
     writer.blob(task.payload);
+    writer.blob(task.result);
   }
 }
 
@@ -154,6 +176,7 @@ void DataManager::restore(util::ByteReader& reader) {
     Task task;
     task.state = reader.boolean() ? State::kCompleted : State::kPending;
     task.payload = reader.blob();
+    task.result = reader.blob();
     const bool completed = task.state == State::kCompleted;
     if (!staged.emplace(id, std::move(task)).second) {
       throw std::invalid_argument(
@@ -176,6 +199,60 @@ void DataManager::restore(util::ByteReader& reader) {
   pending_ = queue_.size();
   completed_ = staged_completed;
   stats_.tasks_added += count;
+}
+
+void DataManager::checkpoint_to_file(const std::string& path) const {
+  util::ByteWriter writer;
+  for (char byte : kCheckpointMagic) {
+    writer.u8(static_cast<std::uint8_t>(byte));
+  }
+  writer.u32(kCheckpointVersion);
+  checkpoint(writer);
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("DataManager: cannot open " + tmp_path +
+                               " for writing");
+    }
+    out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+              static_cast<std::streamsize>(writer.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("DataManager: short write to " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("DataManager: cannot rename " + tmp_path +
+                             " over " + path);
+  }
+}
+
+void DataManager::restore_from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("DataManager: cannot open checkpoint " + path);
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  util::ByteReader reader(bytes);
+  for (char expected : kCheckpointMagic) {
+    if (reader.u8() != static_cast<std::uint8_t>(expected)) {
+      throw std::invalid_argument("DataManager: " + path +
+                                  " is not a phodis checkpoint");
+    }
+  }
+  if (const std::uint32_t version = reader.u32();
+      version != kCheckpointVersion) {
+    throw std::invalid_argument("DataManager: checkpoint version " +
+                                std::to_string(version) + " not supported");
+  }
+  restore(reader);
+  if (!reader.exhausted()) {
+    throw std::length_error("DataManager: trailing bytes in checkpoint " +
+                            path);
+  }
 }
 
 }  // namespace phodis::dist

@@ -52,8 +52,14 @@ class DataManager {
 
   /// Accept a result. Returns true exactly once per task — for the first
   /// result, from whichever worker delivers it (even one whose lease has
-  /// since expired). Duplicates and unknown ids return false.
-  bool complete(std::uint64_t task_id, const std::string& worker, double now);
+  /// since expired). Duplicates and unknown ids return false. The
+  /// first-accepted `result` bytes are retained (the paper's DataManager
+  /// "processes the returned results"); late copies are discarded.
+  bool complete(std::uint64_t task_id, const std::string& worker, double now,
+                std::vector<std::uint8_t> result = {});
+
+  /// First-accepted result bytes of every completed task, keyed by id.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> results() const;
 
   /// Requeue every lease whose deadline has been reached. Returns how
   /// many were reclaimed.
@@ -72,9 +78,10 @@ class DataManager {
 
   DataManagerStats stats() const;
 
-  /// Serialise the pool: every task's payload plus its completion bit.
-  /// In-flight leases are not persisted — on restore they are pending
-  /// again (the restore-side server re-issues them).
+  /// Serialise the pool: every task's payload, its completion bit, and
+  /// (for completed tasks) its result bytes. In-flight leases are not
+  /// persisted — on restore they are pending again (the restore-side
+  /// server re-issues them).
   void checkpoint(util::ByteWriter& writer) const;
 
   /// Rebuild the pool from a checkpoint. Only valid on a manager that
@@ -82,14 +89,26 @@ class DataManager {
   /// input throws without mutating the manager.
   void restore(util::ByteReader& reader);
 
+  /// Persist a checkpoint to disk atomically: the bytes are written to
+  /// `path`.tmp and renamed over `path`, so a crash mid-write leaves
+  /// either the previous checkpoint or the new one, never a torn file.
+  /// Throws std::runtime_error on I/O failure.
+  void checkpoint_to_file(const std::string& path) const;
+
+  /// Restore from a file written by checkpoint_to_file. Same
+  /// preconditions as restore(); additionally validates the file's magic
+  /// and format version.
+  void restore_from_file(const std::string& path);
+
  private:
   enum class State : std::uint8_t { kPending, kInFlight, kCompleted };
 
   struct Task {
     std::vector<std::uint8_t> payload;
     State state = State::kPending;
-    std::string worker;           ///< lease holder when in flight
-    double lease_deadline = 0.0;  ///< when in flight
+    std::string worker;                ///< lease holder when in flight
+    double lease_deadline = 0.0;       ///< when in flight
+    std::vector<std::uint8_t> result;  ///< when completed
   };
 
   mutable std::mutex mutex_;

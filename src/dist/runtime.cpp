@@ -2,27 +2,161 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
+#include <optional>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
-#include "dist/transport.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace phodis::dist {
 
-namespace {
+void ServerLoopOptions::validate() const {
+  if (endpoint.empty()) {
+    throw std::invalid_argument("ServerLoopOptions: endpoint must be named");
+  }
+  if (poll_timeout_ms <= 0) {
+    throw std::invalid_argument(
+        "ServerLoopOptions: poll_timeout_ms must be > 0");
+  }
+  if (!checkpoint_path.empty() && checkpoint_every == 0) {
+    throw std::invalid_argument(
+        "ServerLoopOptions: checkpoint_every must be > 0");
+  }
+}
 
-constexpr const char* kServerEndpoint = "server";
-/// Worker-side wait for a server reply; short so lost frames are retried
-/// well inside even sub-second lease durations.
-constexpr std::int64_t kWorkerReplyTimeoutMs = 20;
-/// Server-side receive timeout, which also bounds the lease-expiry poll
-/// interval.
-constexpr std::int64_t kServerPollTimeoutMs = 5;
+void WorkerLoopOptions::validate() const {
+  if (name.empty() || server_endpoint.empty()) {
+    throw std::invalid_argument(
+        "WorkerLoopOptions: endpoints must be named");
+  }
+  if (reply_timeout_ms <= 0 || no_work_backoff_ms < 0) {
+    throw std::invalid_argument("WorkerLoopOptions: bad timeouts");
+  }
+  if (death_probability < 0.0 || death_probability >= 1.0) {
+    throw std::invalid_argument(
+        "WorkerLoopOptions: death_probability must be in [0, 1)");
+  }
+}
 
-}  // namespace
+void run_server_loop(Transport& transport, DataManager& manager,
+                     const ServerLoopOptions& options) {
+  options.validate();
+  util::Stopwatch clock;
+  // Every name that ever asked for work, so the final Shutdown reaches
+  // even workers that only joined for one pull.
+  std::set<std::string> seen_workers;
+  std::uint64_t completions_since_checkpoint = 0;
+
+  while (!manager.all_done()) {
+    auto msg = transport.receive(options.endpoint, options.poll_timeout_ms);
+    const double now = clock.seconds();
+    manager.expire_leases(now);
+    if (!msg) {
+      if (transport.closed()) {
+        throw std::runtime_error(
+            "run_server_loop: transport closed with tasks outstanding");
+      }
+      continue;
+    }
+    if (msg->type == MessageType::kRequestWork) {
+      seen_workers.insert(msg->sender);
+      Message reply;
+      reply.sender = options.endpoint;
+      if (auto task = manager.lease_next(msg->sender, now)) {
+        reply.type = MessageType::kAssignTask;
+        reply.task_id = task->task_id;
+        reply.payload = std::move(task->payload);
+      } else {
+        reply.type = manager.all_done() ? MessageType::kShutdown
+                                        : MessageType::kNoWork;
+      }
+      transport.send(msg->sender, reply);
+    } else if (msg->type == MessageType::kTaskResult) {
+      if (manager.complete(msg->task_id, msg->sender, now,
+                           std::move(msg->payload))) {
+        if (!options.checkpoint_path.empty() &&
+            ++completions_since_checkpoint >= options.checkpoint_every) {
+          manager.checkpoint_to_file(options.checkpoint_path);
+          completions_since_checkpoint = 0;
+        }
+      }
+    }
+  }
+
+  if (!options.checkpoint_path.empty()) {
+    manager.checkpoint_to_file(options.checkpoint_path);
+  }
+
+  // Tell every worker we ever heard from to exit; whoever misses the
+  // frame (drop, death, reconnect) gets a Shutdown reply to its next
+  // RequestWork or sees the transport close.
+  for (const std::string& worker : seen_workers) {
+    Message shutdown_msg;
+    shutdown_msg.type = MessageType::kShutdown;
+    shutdown_msg.sender = options.endpoint;
+    transport.send(worker, shutdown_msg);
+  }
+}
+
+WorkerLoopOutcome run_worker_loop(Transport& transport,
+                                  const TaskExecutor& executor,
+                                  const WorkerLoopOptions& options) {
+  options.validate();
+  util::Xoshiro256pp death_rng(options.death_seed);
+  WorkerLoopOutcome outcome;
+  std::string name = options.name;
+  std::size_t incarnation = 0;
+
+  const auto alive = [&] {
+    return !transport.closed() &&
+           (!options.keep_running || options.keep_running());
+  };
+
+  while (alive()) {
+    Message request;
+    request.type = MessageType::kRequestWork;
+    request.sender = name;
+    transport.send(options.server_endpoint, request);
+    const auto reply = transport.receive(name, options.reply_timeout_ms);
+    if (!reply) continue;  // lost frame, timeout, or transport shutdown
+    switch (reply->type) {
+      case MessageType::kAssignTask: {
+        if (options.death_probability > 0.0 &&
+            death_rng.uniform() < options.death_probability) {
+          // The worker dies holding this assignment; the lease expires
+          // server-side. A replacement joins under a fresh name (frames
+          // still in flight to the dead name are orphaned on purpose).
+          ++outcome.deaths;
+          ++incarnation;
+          name = options.name + "#" + std::to_string(incarnation);
+          break;
+        }
+        Message result;
+        result.type = MessageType::kTaskResult;
+        result.task_id = reply->task_id;
+        result.sender = name;
+        result.payload = executor(reply->task_id, reply->payload);
+        transport.send(options.server_endpoint, result);
+        ++outcome.tasks_executed;
+        break;
+      }
+      case MessageType::kNoWork:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.no_work_backoff_ms));
+        break;
+      case MessageType::kShutdown:
+        outcome.saw_shutdown = true;
+        outcome.final_name = name;
+        return outcome;
+      default:
+        break;  // protocol noise; ignore
+    }
+  }
+  outcome.final_name = name;
+  return outcome;
+}
 
 void RuntimeConfig::validate() const {
   if (worker_count == 0) {
@@ -42,10 +176,21 @@ Runtime::Runtime(RuntimeConfig config) : config_(config) {
   config_.validate();
 }
 
+Runtime::Runtime(RuntimeConfig config, Transport& transport)
+    : config_(config), transport_(&transport) {
+  config_.validate();
+}
+
 RuntimeReport Runtime::run(const std::vector<TaskRecord>& tasks,
                            const TaskExecutor& executor) {
   util::Stopwatch clock;
-  LoopbackTransport transport(config_.transport_faults);
+  std::optional<LoopbackTransport> owned_transport;
+  Transport* transport = transport_;
+  if (transport == nullptr) {
+    owned_transport.emplace(config_.transport_faults);
+    transport = &*owned_transport;
+  }
+
   DataManager manager(config_.lease_duration_s);
   for (const TaskRecord& task : tasks) {
     manager.add_task(task.task_id, task.payload);
@@ -53,109 +198,49 @@ RuntimeReport Runtime::run(const std::vector<TaskRecord>& tasks,
 
   std::atomic<bool> done{false};
   std::atomic<std::size_t> deaths{0};
-  // Current endpoint name per worker slot, so the server can address the
-  // final Shutdown even after reincarnations.
-  std::vector<std::string> names(config_.worker_count);
-  std::mutex names_mutex;
-  for (std::size_t i = 0; i < config_.worker_count; ++i) {
-    names[i] = "w" + std::to_string(i);
-  }
-
-  const auto worker_main = [&](std::size_t slot) {
-    util::Xoshiro256pp death_rng(util::mix64(config_.fault_seed, slot));
-    std::size_t incarnation = 0;
-    std::string name = "w" + std::to_string(slot);
-    while (!done.load()) {
-      Message request;
-      request.type = MessageType::kRequestWork;
-      request.sender = name;
-      transport.send(kServerEndpoint, request);
-      const auto reply = transport.receive(name, kWorkerReplyTimeoutMs);
-      if (!reply) continue;  // lost frame, timeout, or transport shutdown
-      switch (reply->type) {
-        case MessageType::kAssignTask: {
-          if (config_.worker_death_probability > 0.0 &&
-              death_rng.uniform() < config_.worker_death_probability) {
-            // The worker dies holding this assignment; the lease expires
-            // server-side. A replacement joins under a fresh name (frames
-            // still in flight to the dead name are orphaned on purpose).
-            deaths.fetch_add(1);
-            ++incarnation;
-            name = "w" + std::to_string(slot) + "#" +
-                   std::to_string(incarnation);
-            std::lock_guard<std::mutex> lock(names_mutex);
-            names[slot] = name;
-            break;
-          }
-          Message result;
-          result.type = MessageType::kTaskResult;
-          result.task_id = reply->task_id;
-          result.sender = name;
-          result.payload = executor(reply->task_id, reply->payload);
-          transport.send(kServerEndpoint, result);
-          break;
-        }
-        case MessageType::kNoWork:
-          std::this_thread::sleep_for(std::chrono::milliseconds(2));
-          break;
-        case MessageType::kShutdown:
-          return;
-        default:
-          break;  // protocol noise; ignore
-      }
-    }
-  };
-
   std::vector<std::thread> workers;
   workers.reserve(config_.worker_count);
-  for (std::size_t i = 0; i < config_.worker_count; ++i) {
-    workers.emplace_back(worker_main, i);
+  for (std::size_t slot = 0; slot < config_.worker_count; ++slot) {
+    workers.emplace_back([&, slot] {
+      WorkerLoopOptions options;
+      options.name = "w";
+      options.name += std::to_string(slot);
+      options.death_probability = config_.worker_death_probability;
+      options.death_seed = util::mix64(config_.fault_seed, slot);
+      options.keep_running = [&done] { return !done.load(); };
+      const WorkerLoopOutcome outcome =
+          run_worker_loop(*transport, executor, options);
+      deaths.fetch_add(outcome.deaths);
+    });
   }
+
+  // Drain: on the happy path the server loop has addressed a Shutdown to
+  // every worker it heard from; closing the transport wakes any receiver
+  // that missed (or lost) its frame. Must also run when the server loop
+  // throws (checkpoint I/O failure, transport closed under us) — letting
+  // joinable std::threads unwind would std::terminate the process.
+  const auto drain = [&] {
+    done.store(true);
+    transport->shutdown();
+    for (std::thread& worker : workers) worker.join();
+    workers.clear();
+  };
+  ServerLoopOptions server_options;
+  server_options.checkpoint_path = config_.checkpoint_path;
+  try {
+    run_server_loop(*transport, manager, server_options);
+  } catch (...) {
+    drain();
+    throw;
+  }
+  drain();
 
   RuntimeReport report;
-  while (!manager.all_done()) {
-    auto msg = transport.receive(kServerEndpoint, kServerPollTimeoutMs);
-    const double now = clock.seconds();
-    manager.expire_leases(now);
-    if (!msg) continue;
-    if (msg->type == MessageType::kRequestWork) {
-      Message reply;
-      reply.sender = kServerEndpoint;
-      if (auto task = manager.lease_next(msg->sender, now)) {
-        reply.type = MessageType::kAssignTask;
-        reply.task_id = task->task_id;
-        reply.payload = std::move(task->payload);
-      } else {
-        reply.type = manager.all_done() ? MessageType::kShutdown
-                                        : MessageType::kNoWork;
-      }
-      transport.send(msg->sender, reply);
-    } else if (msg->type == MessageType::kTaskResult) {
-      if (manager.complete(msg->task_id, msg->sender, now)) {
-        report.results.emplace(msg->task_id, std::move(msg->payload));
-      }
-    }
-  }
-
-  // Drain: tell every live worker to exit, then close the transport so
-  // any receiver that missed (or lost) its Shutdown frame wakes up too.
-  {
-    std::lock_guard<std::mutex> lock(names_mutex);
-    for (const std::string& name : names) {
-      Message shutdown_msg;
-      shutdown_msg.type = MessageType::kShutdown;
-      shutdown_msg.sender = kServerEndpoint;
-      transport.send(name, shutdown_msg);
-    }
-  }
-  done.store(true);
-  transport.shutdown();
-  for (std::thread& worker : workers) worker.join();
-
+  report.results = manager.results();
   report.manager_stats = manager.stats();
-  report.frames_sent = transport.frames_sent();
-  report.frames_dropped = transport.frames_dropped();
-  report.bytes_sent = transport.bytes_sent();
+  report.frames_sent = transport->frames_sent();
+  report.frames_dropped = transport->frames_dropped();
+  report.bytes_sent = transport->bytes_sent();
   report.workers_died = deaths.load();
   report.wall_seconds = clock.seconds();
   return report;

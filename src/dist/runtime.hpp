@@ -1,13 +1,16 @@
-// The in-process distributed runtime: a DataManager server plus a pool
-// of worker threads speaking the RequestWork/AssignTask/TaskResult
-// protocol over the loopback transport.
+// The distributed runtime: the RequestWork/AssignTask/TaskResult
+// protocol, factored into a server loop and a worker loop that run over
+// any Transport — the in-process loopback (Runtime bundles both sides
+// behind one call, the original threaded simulation) or real sockets
+// (phodis_server runs run_server_loop over a net::Server, each
+// phodis_worker process runs run_worker_loop over a net::Client).
 //
 // Faults are first-class: frames may be dropped (FaultSpec) and workers
-// may die mid-assignment (worker_death_probability); lease expiry plus
-// exactly-once completion in the DataManager guarantee every task's
-// result is collected exactly once regardless. A dead worker is replaced
-// immediately (the fleet keeps its size), modelling the paper's
-// non-dedicated client churn.
+// may die mid-assignment (death_probability, or a real SIGKILL); lease
+// expiry plus exactly-once completion in the DataManager guarantee every
+// task's result is collected exactly once regardless. A dead in-process
+// worker is replaced immediately (the fleet keeps its size), modelling
+// the paper's non-dedicated client churn.
 #pragma once
 
 #include <cstdint>
@@ -18,26 +21,90 @@
 
 #include "dist/datamanager.hpp"
 #include "dist/message.hpp"
+#include "dist/transport.hpp"
 
 namespace phodis::dist {
-
-struct RuntimeConfig {
-  std::size_t worker_count = 2;
-  double lease_duration_s = 30.0;
-  FaultSpec transport_faults;
-  /// Per-assignment probability that the worker dies instead of
-  /// executing, in [0, 1). Its replacement joins under a fresh name.
-  double worker_death_probability = 0.0;
-  /// Seed of the worker-death streams (independent of transport faults).
-  std::uint64_t fault_seed = 2006;
-
-  void validate() const;
-};
 
 /// Computes a task's result bytes from (task_id, payload). Must be
 /// thread-safe; called concurrently from worker threads.
 using TaskExecutor = std::function<std::vector<std::uint8_t>(
     std::uint64_t, const std::vector<std::uint8_t>&)>;
+
+struct ServerLoopOptions {
+  /// The server's well-known mailbox name.
+  std::string endpoint = "server";
+  /// Receive timeout, which also bounds the lease-expiry poll interval.
+  std::int64_t poll_timeout_ms = 5;
+  /// Persist the DataManager (tasks, completion bits, results) here so a
+  /// restarted server resumes instead of recomputing. Empty = off.
+  std::string checkpoint_path;
+  /// Checkpoint after this many new completions (and always once at the
+  /// end of the run).
+  std::uint64_t checkpoint_every = 16;
+
+  void validate() const;
+};
+
+/// Drive `manager`'s tasks to completion over `transport` on the calling
+/// thread: lease tasks to whoever asks, accept first results, requeue
+/// expired leases. Before returning, every endpoint that ever requested
+/// work is sent a Shutdown frame. Results land in the manager
+/// (DataManager::results()).
+void run_server_loop(Transport& transport, DataManager& manager,
+                     const ServerLoopOptions& options = {});
+
+struct WorkerLoopOptions {
+  /// This worker's endpoint name (the sender field of its frames).
+  std::string name = "worker";
+  std::string server_endpoint = "server";
+  /// Wait for a server reply; short so lost frames are retried well
+  /// inside even sub-second lease durations.
+  std::int64_t reply_timeout_ms = 20;
+  /// Pause after a NoWork reply (pool momentarily empty).
+  std::int64_t no_work_backoff_ms = 2;
+  /// Per-assignment probability that the worker "dies" instead of
+  /// executing, in [0, 1): it abandons the lease and rejoins under a
+  /// fresh name, exactly like a real client crashing and rebooting.
+  double death_probability = 0.0;
+  /// Seed of the death stream (independent of transport faults).
+  std::uint64_t death_seed = 2006;
+  /// Extra liveness check polled each iteration (in-process pools use it
+  /// to stop workers whose Shutdown frame was lost); empty = always on.
+  std::function<bool()> keep_running;
+
+  void validate() const;
+};
+
+struct WorkerLoopOutcome {
+  std::size_t tasks_executed = 0;
+  std::size_t deaths = 0;
+  /// True when the loop ended on a Shutdown frame (vs transport closed
+  /// or keep_running() false).
+  bool saw_shutdown = false;
+  /// The name after any death/rebirth renames.
+  std::string final_name;
+};
+
+/// Pull and execute tasks over `transport` until a Shutdown frame
+/// arrives, the transport closes, or keep_running() turns false.
+WorkerLoopOutcome run_worker_loop(Transport& transport,
+                                  const TaskExecutor& executor,
+                                  const WorkerLoopOptions& options);
+
+struct RuntimeConfig {
+  std::size_t worker_count = 2;
+  double lease_duration_s = 30.0;
+  FaultSpec transport_faults;
+  /// Per-assignment probability that a worker dies instead of
+  /// executing, in [0, 1). Its replacement joins under a fresh name.
+  double worker_death_probability = 0.0;
+  /// Seed of the worker-death streams (independent of transport faults).
+  std::uint64_t fault_seed = 2006;
+  /// Server-side checkpointing (see ServerLoopOptions).
+  std::string checkpoint_path;
+
+  void validate() const;
+};
 
 struct RuntimeReport {
   /// First-accepted result per task, keyed (and hence iterated) by id.
@@ -50,9 +117,20 @@ struct RuntimeReport {
   double wall_seconds = 0.0;
 };
 
+/// Both sides of the protocol behind one blocking call: a DataManager
+/// fed by the server loop on the calling thread, plus a pool of worker
+/// threads, all speaking over one shared transport.
 class Runtime {
  public:
+  /// Runs over an owned LoopbackTransport configured from
+  /// `config.transport_faults`.
   explicit Runtime(RuntimeConfig config);
+
+  /// Runs over `transport` (borrowed; must outlive run()). The
+  /// transport's own fault configuration applies;
+  /// `config.transport_faults` is ignored. Note run() shuts the
+  /// transport down when the pool drains — a transport carries one run.
+  Runtime(RuntimeConfig config, Transport& transport);
 
   /// Run every task to completion and collect the results. Blocks until
   /// the pool has drained; the server loop runs on the calling thread.
@@ -61,6 +139,7 @@ class Runtime {
 
  private:
   RuntimeConfig config_;
+  Transport* transport_ = nullptr;
 };
 
 }  // namespace phodis::dist

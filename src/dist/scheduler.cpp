@@ -41,6 +41,42 @@ double makespan_of(const std::vector<double>& sizes,
   return makespan;
 }
 
+/// Load-aware move mutation: take a random task off the processor that
+/// finishes last and hand it to the processor that would finish it
+/// earliest. Repairs the one gene that binds the makespan, which blind
+/// per-gene mutation hits with probability ~1/(n·m).
+void load_aware_move(std::vector<std::size_t>& genes,
+                     const std::vector<double>& sizes,
+                     const std::vector<double>& rates,
+                     util::Xoshiro256pp& rng) {
+  if (rates.size() < 2) return;
+  std::vector<double> loads(rates.size(), 0.0);
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    loads[genes[i]] += sizes[i];
+  }
+  std::size_t hot = 0;
+  for (std::size_t p = 1; p < rates.size(); ++p) {
+    if (loads[p] / rates[p] > loads[hot] / rates[hot]) hot = p;
+  }
+  std::vector<std::size_t> on_hot;
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (genes[i] == hot) on_hot.push_back(i);
+  }
+  if (on_hot.empty()) return;  // every size on `hot` is zero-weight
+  const std::size_t task = on_hot[rng.next() % on_hot.size()];
+  std::size_t best = hot;
+  double best_finish = loads[hot] / rates[hot];  // keeping it is the bar
+  for (std::size_t p = 0; p < rates.size(); ++p) {
+    if (p == hot) continue;
+    const double finish = (loads[p] + sizes[task]) / rates[p];
+    if (finish < best_finish) {
+      best_finish = finish;
+      best = p;
+    }
+  }
+  genes[task] = best;
+}
+
 std::vector<std::size_t> greedy_lpt_assignment(
     const std::vector<double>& sizes, const std::vector<double>& rates) {
   std::vector<std::size_t> order(sizes.size());
@@ -140,6 +176,10 @@ void GaScheduler::Params::validate() const {
     throw std::invalid_argument(
         "GaScheduler: mutation_rate must be in [0, 1]");
   }
+  if (move_mutation_rate < 0.0 || move_mutation_rate > 1.0) {
+    throw std::invalid_argument(
+        "GaScheduler: move_mutation_rate must be in [0, 1]");
+  }
   if (tournament == 0) {
     throw std::invalid_argument("GaScheduler: tournament must be >= 1");
   }
@@ -214,6 +254,10 @@ Schedule GaScheduler::schedule(const std::vector<double>& sizes,
         if (rng.uniform() < params_.mutation_rate) {
           child.genes[g] = random_processor();
         }
+      }
+      if (params_.move_mutation_rate > 0.0 &&
+          rng.uniform() < params_.move_mutation_rate) {
+        load_aware_move(child.genes, sizes, rates, rng);
       }
       evaluate(child);
     }

@@ -68,7 +68,11 @@ class GreedyScheduler final : public StaticScheduler {
 
 /// Genetic-algorithm scheduler: chromosomes are assignments, fitness is
 /// makespan; tournament selection, uniform crossover, per-gene mutation,
-/// elitism. Deterministic for a fixed seed.
+/// elitism, plus an optional load-aware move mutation (shift a task off
+/// the processor that finishes last onto the one that would finish it
+/// earliest — directed repair of exactly the gene that binds the
+/// fitness, where blind per-gene mutation almost never lands).
+/// Deterministic for a fixed seed.
 class GaScheduler final : public StaticScheduler {
  public:
   struct Params {
@@ -76,6 +80,9 @@ class GaScheduler final : public StaticScheduler {
     std::size_t generations = 100;
     std::size_t elites = 2;        ///< best kept unchanged each generation
     double mutation_rate = 0.02;   ///< per-gene reassignment probability
+    /// Per-child probability of the load-aware move mutation. 0 restores
+    /// the pure random-mutation GA of the paper's ref. [4].
+    double move_mutation_rate = 0.2;
     std::size_t tournament = 3;    ///< selection tournament size
     bool seed_with_greedy = true;  ///< plant the LPT schedule in gen 0
     std::uint64_t seed = 2006;

@@ -5,9 +5,7 @@
 namespace phodis::dist {
 
 LoopbackTransport::LoopbackTransport(const FaultSpec& faults)
-    : drop_rng_(faults.seed), drop_probability_(faults.drop_probability) {
-  faults.validate();
-}
+    : drops_(faults) {}
 
 void LoopbackTransport::send(const std::string& endpoint,
                              const Message& msg) {
@@ -17,8 +15,7 @@ void LoopbackTransport::send(const std::string& endpoint,
     if (shutdown_) return;
     ++frames_sent_;
     bytes_sent_ += frame.size();
-    if (drop_probability_ > 0.0 &&
-        drop_rng_.uniform() < drop_probability_) {
+    if (drops_.should_drop()) {
       ++frames_dropped_;
       return;
     }
@@ -62,6 +59,11 @@ void LoopbackTransport::shutdown() {
     shutdown_ = true;
   }
   cv_.notify_all();
+}
+
+bool LoopbackTransport::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_;
 }
 
 std::uint64_t LoopbackTransport::frames_sent() const {

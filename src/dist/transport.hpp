@@ -1,10 +1,17 @@
-// In-process loopback transport with fault injection.
+// Transport — how protocol messages move between endpoints.
 //
-// Endpoints are named mailboxes holding encoded frames in FIFO order, so
-// even an in-process run pays (and tests) the full encode/decode cost a
-// socket transport would. Sends may be dropped with a configured,
-// seeded probability; drop decisions are reproducible. All operations
-// are thread-safe.
+// Endpoints are named mailboxes: send(endpoint, msg) delivers an encoded
+// frame to whoever receives on that name. The server receives on its own
+// well-known endpoint and replies to the sender names it sees; workers
+// receive on their own names. Implementations are free to realise that
+// namespace in-process (LoopbackTransport) or across machines
+// (net::Server / net::Client over TCP or Unix-domain sockets); the
+// protocol loops in runtime.cpp run unchanged over either.
+//
+// Sends may be dropped with a configured, seeded probability (FaultSpec);
+// drop decisions are taken before the frame leaves the sender, so fault
+// tests behave the same on every transport. All operations are
+// thread-safe.
 #pragma once
 
 #include <condition_variable>
@@ -21,36 +28,82 @@
 
 namespace phodis::dist {
 
-class LoopbackTransport {
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Encode and deliver `msg` to `endpoint` (or drop it, per the fault
+  /// spec). After shutdown() this is a silent no-op; a frame lost on the
+  /// way (full queue, broken socket) is equally silent — the protocol
+  /// retries, it never relies on delivery.
+  virtual void send(const std::string& endpoint, const Message& msg) = 0;
+
+  /// Pop the next frame for `endpoint` without blocking.
+  virtual std::optional<Message> try_receive(const std::string& endpoint) = 0;
+
+  /// Pop the next frame for `endpoint`, waiting up to `timeout_ms`.
+  /// Returns nullopt on timeout or transport shutdown.
+  virtual std::optional<Message> receive(const std::string& endpoint,
+                                         std::int64_t timeout_ms) = 0;
+
+  /// Stop all traffic and wake every blocked receiver.
+  virtual void shutdown() = 0;
+
+  /// True once the transport can no longer deliver traffic — after
+  /// shutdown(), or when a connection-oriented implementation has
+  /// exhausted its reconnect budget. Protocol loops use this to stop
+  /// retrying instead of spinning forever.
+  virtual bool closed() const = 0;
+
+  virtual std::uint64_t frames_sent() const = 0;
+  virtual std::uint64_t frames_dropped() const = 0;
+  virtual std::uint64_t bytes_sent() const = 0;
+};
+
+/// Seeded Bernoulli drop decisions shared by every transport's fault
+/// injection. Not thread-safe on its own: callers draw under their lock.
+class DropInjector {
+ public:
+  explicit DropInjector(const FaultSpec& faults)
+      : rng_(faults.seed), probability_(faults.drop_probability) {
+    faults.validate();
+  }
+
+  /// Decide the fate of one send. Draws from the stream only when drops
+  /// are enabled, so a zero-probability spec never perturbs anything.
+  bool should_drop() {
+    return probability_ > 0.0 && rng_.uniform() < probability_;
+  }
+
+ private:
+  util::Xoshiro256pp rng_;
+  double probability_;
+};
+
+/// In-process implementation: endpoints are FIFO queues of encoded
+/// frames, so even a loopback run pays (and tests) the full
+/// encode/decode cost a socket transport would.
+class LoopbackTransport final : public Transport {
  public:
   LoopbackTransport() : LoopbackTransport(FaultSpec{}) {}
   explicit LoopbackTransport(const FaultSpec& faults);
 
-  /// Encode and enqueue `msg` for `endpoint` (or drop it, per the fault
-  /// spec). After shutdown() this is a silent no-op.
-  void send(const std::string& endpoint, const Message& msg);
-
-  /// Pop the next frame for `endpoint` without blocking.
-  std::optional<Message> try_receive(const std::string& endpoint);
-
-  /// Pop the next frame for `endpoint`, waiting up to `timeout_ms`.
-  /// Returns nullopt on timeout or transport shutdown.
+  void send(const std::string& endpoint, const Message& msg) override;
+  std::optional<Message> try_receive(const std::string& endpoint) override;
   std::optional<Message> receive(const std::string& endpoint,
-                                 std::int64_t timeout_ms);
+                                 std::int64_t timeout_ms) override;
+  void shutdown() override;
+  bool closed() const override;
 
-  /// Stop all traffic and wake every blocked receiver.
-  void shutdown();
-
-  std::uint64_t frames_sent() const;
-  std::uint64_t frames_dropped() const;
-  std::uint64_t bytes_sent() const;
+  std::uint64_t frames_sent() const override;
+  std::uint64_t frames_dropped() const override;
+  std::uint64_t bytes_sent() const override;
 
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<std::string, std::deque<std::vector<std::uint8_t>>> queues_;
-  util::Xoshiro256pp drop_rng_;
-  double drop_probability_;
+  DropInjector drops_;
   bool shutdown_ = false;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;

@@ -1,0 +1,64 @@
+#include "net/address.hpp"
+
+#include <stdexcept>
+
+namespace phodis::net {
+
+Address Address::tcp(std::string host, std::uint16_t port) {
+  Address address;
+  address.kind = Kind::kTcp;
+  address.host = std::move(host);
+  address.port = port;
+  return address;
+}
+
+Address Address::unix_path(std::string path) {
+  Address address;
+  address.kind = Kind::kUnix;
+  address.path = std::move(path);
+  return address;
+}
+
+Address Address::parse(const std::string& spec) {
+  constexpr const char* kTcpScheme = "tcp:";
+  constexpr const char* kUnixScheme = "unix:";
+  if (spec.rfind(kUnixScheme, 0) == 0) {
+    std::string path = spec.substr(5);
+    if (path.empty()) {
+      throw std::invalid_argument("Address: empty unix socket path in \"" +
+                                  spec + "\"");
+    }
+    return unix_path(std::move(path));
+  }
+  if (spec.rfind(kTcpScheme, 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw std::invalid_argument("Address: expected tcp:HOST:PORT, got \"" +
+                                  spec + "\"");
+    }
+    const std::string host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    std::size_t consumed = 0;
+    unsigned long port = 0;
+    try {
+      port = std::stoul(port_str, &consumed);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("Address: bad port in \"" + spec + "\"");
+    }
+    if (consumed != port_str.size() || port > 65535) {
+      throw std::invalid_argument("Address: bad port in \"" + spec + "\"");
+    }
+    return tcp(host, static_cast<std::uint16_t>(port));
+  }
+  throw std::invalid_argument(
+      "Address: expected tcp:HOST:PORT or unix:PATH, got \"" + spec + "\"");
+}
+
+std::string Address::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+}  // namespace phodis::net

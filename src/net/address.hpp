@@ -1,0 +1,37 @@
+// Network addresses for the cluster transports.
+//
+// The paper's platform names its server by host; we support two socket
+// families behind one spelling so examples and tests can pick whichever
+// the environment allows: "tcp:host:port" for cross-machine runs and
+// "unix:/path" for same-host runs (no ports to collide, works in
+// network-less sandboxes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phodis::net {
+
+struct Address {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kTcp;
+  std::string host;         ///< TCP only
+  std::uint16_t port = 0;   ///< TCP only; 0 binds an ephemeral port
+  std::string path;         ///< Unix-domain only
+
+  static Address tcp(std::string host, std::uint16_t port);
+  static Address unix_path(std::string path);
+
+  /// Parse "tcp:HOST:PORT" or "unix:PATH". Throws std::invalid_argument
+  /// on any other shape (unknown scheme, missing/garbage port, empty
+  /// host or path).
+  static Address parse(const std::string& spec);
+
+  /// Round-trips through parse().
+  std::string to_string() const;
+
+  bool operator==(const Address&) const = default;
+};
+
+}  // namespace phodis::net

@@ -1,0 +1,44 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace phodis::net {
+
+bool write_frame(Socket& socket, const std::vector<std::uint8_t>& frame) {
+  if (frame.size() > kMaxFrameBytes) {
+    throw FramingError("write_frame: frame of " +
+                       std::to_string(frame.size()) +
+                       " bytes exceeds kMaxFrameBytes");
+  }
+  const auto length = static_cast<std::uint32_t>(frame.size());
+  std::uint8_t prefix[sizeof length];
+  std::memcpy(prefix, &length, sizeof length);  // little-endian host
+  if (!socket.send_all(prefix, sizeof prefix)) return false;
+  return socket.send_all(frame.data(), frame.size());
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(Socket& socket) {
+  std::uint8_t prefix[sizeof(std::uint32_t)];
+  const std::size_t prefix_got = socket.recv_upto(prefix, sizeof prefix);
+  if (prefix_got == 0) return std::nullopt;  // clean EOF between frames
+  if (prefix_got < sizeof prefix) {
+    throw FramingError("read_frame: connection died inside a length prefix");
+  }
+  std::uint32_t length = 0;
+  std::memcpy(&length, prefix, sizeof length);
+  if (length > kMaxFrameBytes) {
+    throw FramingError("read_frame: declared length " +
+                       std::to_string(length) + " exceeds kMaxFrameBytes");
+  }
+  std::vector<std::uint8_t> frame(length);
+  const std::size_t body_got = socket.recv_upto(frame.data(), frame.size());
+  if (body_got < frame.size()) {
+    throw FramingError("read_frame: connection died mid-frame (" +
+                       std::to_string(body_got) + " of " +
+                       std::to_string(length) + " bytes)");
+  }
+  return frame;
+}
+
+}  // namespace phodis::net

@@ -1,0 +1,44 @@
+// Length-prefixed framing over a stream socket.
+//
+// A frame is [u32 little-endian length][length bytes] — the bytes being a
+// dist::Message as produced by Message::encode(), though this layer is
+// payload-agnostic. The reader distinguishes the only benign way a stream
+// can end (EOF exactly on a frame boundary → nullopt) from every torn
+// shape (EOF or error mid-prefix or mid-body → FramingError), and bounds
+// the declared length so a corrupt or hostile prefix can never turn into
+// a multi-gigabyte allocation or an endless read.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace phodis::net {
+
+/// A frame that could not be read or written intact: torn prefix, torn
+/// body, or a length prefix beyond kMaxFrameBytes.
+class FramingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Upper bound on a frame's declared length. Generous next to real
+/// traffic (task payloads and serialised tallies are kilobytes to a few
+/// megabytes) but small enough that a corrupt prefix fails fast.
+constexpr std::uint32_t kMaxFrameBytes = 256u << 20;  // 256 MiB
+
+/// Write one frame. Returns false when the peer is gone mid-write (the
+/// frame is torn on *their* side; nothing to do on ours). Throws
+/// FramingError only for an oversize frame, which is a caller bug.
+bool write_frame(Socket& socket, const std::vector<std::uint8_t>& frame);
+
+/// Read one frame. Returns nullopt on a clean EOF (connection closed on
+/// a frame boundary); throws FramingError on torn input. Never hangs
+/// past what the socket itself does: a closed or shut-down peer always
+/// surfaces as EOF.
+std::optional<std::vector<std::uint8_t>> read_frame(Socket& socket);
+
+}  // namespace phodis::net

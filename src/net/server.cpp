@@ -1,0 +1,166 @@
+#include "net/server.hpp"
+
+#include <exception>
+#include <iterator>
+#include <utility>
+
+#include "net/frame.hpp"
+#include "util/log.hpp"
+
+namespace phodis::net {
+
+namespace {
+/// Accept poll period: bounds how long shutdown() waits on the accept
+/// thread.
+constexpr std::int64_t kAcceptPollMs = 50;
+}  // namespace
+
+Server::Server(const Address& address, const dist::FaultSpec& faults,
+               std::string endpoint)
+    : endpoint_(std::move(endpoint)), drops_(faults) {
+  listener_ = Listener::listen(address);
+  address_ = listener_.local_address();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::accept_loop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+    }
+    auto socket = listener_.accept(kAcceptPollMs);
+    if (!socket) continue;
+    auto connection = std::make_shared<Connection>();
+    connection->socket = std::move(*socket);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;  // raced with shutdown; drop the connection
+    connections_.push_back(connection);
+    connection->reader =
+        std::thread([this, connection] { reader_loop(connection); });
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& connection) {
+  while (true) {
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = read_frame(connection->socket);
+    } catch (const FramingError& error) {
+      util::log_warn() << "net::Server: dropping connection: "
+                       << error.what();
+      frame.reset();
+    }
+    if (!frame) break;  // EOF or torn frame: connection is done
+    dist::Message msg;
+    try {
+      msg = dist::Message::decode(*frame);
+    } catch (const std::exception& error) {
+      // A worker that frames garbage must never take down the server.
+      util::log_warn() << "net::Server: dropping connection on malformed "
+                          "message: "
+                       << error.what();
+      break;
+    }
+    {
+      // Route replies for this sender to the connection it last used.
+      std::lock_guard<std::mutex> lock(mutex_);
+      routes_[msg.sender] = connection;
+    }
+    inbox_.deliver(endpoint_, std::move(msg));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  connection->dead = true;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    it = (it->second == connection) ? routes_.erase(it) : std::next(it);
+  }
+}
+
+void Server::send(const std::string& endpoint, const dist::Message& msg) {
+  const std::vector<std::uint8_t> frame = msg.encode();
+  std::shared_ptr<Connection> connection;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    ++frames_sent_;
+    bytes_sent_ += frame.size();
+    if (drops_.should_drop()) {
+      ++frames_dropped_;
+      return;
+    }
+    const auto it = routes_.find(endpoint);
+    if (it == routes_.end() || it->second->dead) {
+      // No live connection for that name (worker died or never spoke):
+      // the frame is lost, the protocol's retries handle it.
+      return;
+    }
+    connection = it->second;
+  }
+  std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+  if (!write_frame(connection->socket, frame)) {
+    util::log_debug() << "net::Server: send to \"" << endpoint
+                      << "\" failed (peer gone)";
+  }
+}
+
+std::optional<dist::Message> Server::try_receive(const std::string& endpoint) {
+  return inbox_.try_pop(endpoint);
+}
+
+std::optional<dist::Message> Server::receive(const std::string& endpoint,
+                                             std::int64_t timeout_ms) {
+  return inbox_.pop(endpoint, timeout_ms);
+}
+
+void Server::shutdown() {
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+    connections = connections_;
+  }
+  inbox_.close();
+  for (const auto& connection : connections) {
+    connection->socket.shutdown_both();  // wakes its reader with EOF
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (const auto& connection : connections) {
+    if (connection->reader.joinable()) connection->reader.join();
+  }
+  listener_.close();
+}
+
+bool Server::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stop_;
+}
+
+std::vector<std::string> Server::connected_endpoints() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(routes_.size());
+  for (const auto& [name, connection] : routes_) {
+    if (!connection->dead) names.push_back(name);
+  }
+  return names;
+}
+
+std::uint64_t Server::frames_sent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_sent_;
+}
+
+std::uint64_t Server::frames_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frames_dropped_;
+}
+
+std::uint64_t Server::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_sent_;
+}
+
+}  // namespace phodis::net

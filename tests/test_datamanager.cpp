@@ -2,6 +2,9 @@
 // expiry, and worker eviction.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "dist/datamanager.hpp"
 
 namespace phodis::dist {
@@ -147,6 +150,92 @@ TEST(DataManager, ManyTasksDrainCompletely) {
   EXPECT_EQ(drained, kTasks);
   EXPECT_TRUE(dm.all_done());
   EXPECT_EQ(dm.completed_count(), kTasks);
+}
+
+TEST(DataManager, ResultsRetainFirstAcceptedBytes) {
+  DataManager dm(10.0);
+  dm.add_task(0, payload_of(1));
+  dm.add_task(1, payload_of(2));
+  dm.lease_next("w0", 0.0);
+  dm.lease_next("w1", 0.0);
+  EXPECT_TRUE(dm.complete(0, "w0", 1.0, {10, 11}));
+  EXPECT_FALSE(dm.complete(0, "w1", 1.5, {99}));  // late copy discarded
+  EXPECT_TRUE(dm.complete(1, "w1", 2.0, {20}));
+  const auto results = dm.results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results.at(0), (std::vector<std::uint8_t>{10, 11}));
+  EXPECT_EQ(results.at(1), (std::vector<std::uint8_t>{20}));
+}
+
+TEST(DataManagerCheckpoint, FileRoundTripRestoresResultsAndPending) {
+  const std::string path = ::testing::TempDir() + "phodis_dm_ckpt.bin";
+  {
+    DataManager dm(10.0);
+    for (std::uint8_t i = 0; i < 6; ++i) dm.add_task(i, payload_of(i));
+    for (int i = 0; i < 3; ++i) {
+      const auto lease = dm.lease_next("w0", 0.0);
+      ASSERT_TRUE(lease.has_value());
+      dm.complete(lease->task_id, "w0", 1.0,
+                  payload_of(static_cast<std::uint8_t>(100 + i)));
+    }
+    // One in-flight lease: must come back as pending, not lost.
+    ASSERT_TRUE(dm.lease_next("w1", 0.0).has_value());
+    dm.checkpoint_to_file(path);
+  }
+
+  DataManager restored(10.0);
+  restored.restore_from_file(path);
+  EXPECT_EQ(restored.completed_count(), 3u);
+  EXPECT_EQ(restored.pending_count(), 3u);  // incl. the in-flight one
+  EXPECT_EQ(restored.in_flight_count(), 0u);
+  const auto results = restored.results();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results.at(0), payload_of(100));
+  // The rest of the pool still drains normally.
+  while (auto task = restored.lease_next("w2", 0.0)) {
+    restored.complete(task->task_id, "w2", 1.0, {});
+  }
+  EXPECT_TRUE(restored.all_done());
+  std::remove(path.c_str());
+}
+
+TEST(DataManagerCheckpoint, AtomicRewriteKeepsFileValid) {
+  const std::string path = ::testing::TempDir() + "phodis_dm_rewrite.bin";
+  DataManager dm(10.0);
+  dm.add_task(0, payload_of(1));
+  dm.checkpoint_to_file(path);
+  dm.lease_next("w0", 0.0);
+  dm.complete(0, "w0", 1.0, payload_of(42));
+  dm.checkpoint_to_file(path);  // rename over the previous snapshot
+  DataManager restored(10.0);
+  restored.restore_from_file(path);
+  EXPECT_TRUE(restored.all_done());
+  EXPECT_EQ(restored.results().at(0), payload_of(42));
+  std::remove(path.c_str());
+}
+
+TEST(DataManagerCheckpoint, RejectsMissingAndMalformedFiles) {
+  DataManager dm(10.0);
+  EXPECT_THROW(dm.restore_from_file("/nonexistent/phodis.ckpt"),
+               std::runtime_error);
+
+  const std::string path = ::testing::TempDir() + "phodis_dm_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  EXPECT_THROW(dm.restore_from_file(path), std::invalid_argument);
+  EXPECT_EQ(dm.pending_count(), 0u);  // untouched
+  std::remove(path.c_str());
+}
+
+TEST(DataManagerCheckpoint, RestoreRequiresEmptyManager) {
+  const std::string path = ::testing::TempDir() + "phodis_dm_nonempty.bin";
+  DataManager dm(10.0);
+  dm.add_task(0, payload_of(1));
+  dm.checkpoint_to_file(path);
+  EXPECT_THROW(dm.restore_from_file(path), std::logic_error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -175,7 +175,8 @@ TEST(DataManagerConcurrency, ParallelLeaseCompleteIsExactlyOnce) {
   std::set<std::uint64_t> seen;
 
   auto worker = [&](int index) {
-    const std::string name = "w" + std::to_string(index);
+    std::string name = "w";
+    name += std::to_string(index);
     while (auto task = manager.lease_next(name, 0.0)) {
       if (manager.complete(task->task_id, name, 1.0)) {
         merged.fetch_add(1);
@@ -210,7 +211,8 @@ TEST(DataManagerConcurrency, ExpiryRacingCompletionsStaysConsistent) {
 
   std::atomic<std::uint64_t> merged{0};
   auto worker = [&](int index) {
-    const std::string name = "w" + std::to_string(index);
+    std::string name = "w";
+    name += std::to_string(index);
     while (!manager.all_done()) {
       if (auto task = manager.lease_next(name, 0.0)) {
         if (manager.complete(task->task_id, name, 0.0)) {

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "dist/runtime.hpp"
+#include "dist/transport.hpp"
 
 namespace phodis::dist {
 namespace {
@@ -133,6 +134,27 @@ TEST(Runtime, FaultyRunProducesSameResultsAsCleanRun) {
   for (const auto& [id, bytes] : a.results) {
     EXPECT_EQ(b.results.at(id), bytes) << "task " << id;
   }
+}
+
+TEST(Runtime, RunsOverAnInjectedTransport) {
+  LoopbackTransport transport;
+  RuntimeConfig config;
+  config.worker_count = 2;
+  Runtime runtime(config, transport);
+  const RuntimeReport report = runtime.run(make_tasks(12), doubler);
+  EXPECT_EQ(report.results.size(), 12u);
+  EXPECT_EQ(report.frames_sent, transport.frames_sent());
+  EXPECT_TRUE(transport.closed());  // a transport carries one run
+}
+
+TEST(Runtime, SurfacesCheckpointFailureAsException) {
+  // A failing server-side checkpoint must unwind as a catchable
+  // exception, not std::terminate on the still-joinable worker threads.
+  RuntimeConfig config;
+  config.worker_count = 2;
+  config.checkpoint_path = "/nonexistent_phodis_dir/run.ckpt";
+  Runtime runtime(config);
+  EXPECT_THROW(runtime.run(make_tasks(40), doubler), std::runtime_error);
 }
 
 TEST(Runtime, ReportsTransportStatistics) {

@@ -181,6 +181,37 @@ TEST(Ga, ApproachesRateProportionalLowerBound) {
   EXPECT_LE(s.makespan, bound * 1.15);  // within 15% of the bound
 }
 
+TEST(Ga, MoveMutationRateIsValidated) {
+  GaScheduler::Params params;
+  params.move_mutation_rate = -0.1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+  params.move_mutation_rate = 1.1;
+  EXPECT_THROW(params.validate(), std::invalid_argument);
+}
+
+TEST(Ga, LoadAwareMutationBeatsRandomMutationOnTable2Fleet) {
+  // The ablation behind the default: from a random population on the
+  // 150-processor fleet, the GA with the load-aware move must strictly
+  // beat the pure random-mutation GA of the paper's ref. [4].
+  const auto chunks = chunk_plan(200'000'000, 250'000);  // 800 tasks
+  const std::vector<double> sizes(chunks.begin(), chunks.end());
+  const auto rates = table2_rates();
+  ASSERT_EQ(rates.size(), 150u);
+
+  GaScheduler::Params random_only;
+  random_only.seed_with_greedy = false;
+  random_only.generations = 120;
+  random_only.move_mutation_rate = 0.0;
+  GaScheduler::Params with_move = random_only;
+  with_move.move_mutation_rate = 0.2;
+
+  const double random_only_makespan =
+      GaScheduler(random_only).schedule(sizes, rates).makespan;
+  const double with_move_makespan =
+      GaScheduler(with_move).schedule(sizes, rates).makespan;
+  EXPECT_LT(with_move_makespan, random_only_makespan);
+}
+
 TEST(Ga, AssignmentUsesOnlyValidProcessors) {
   GaScheduler ga;
   const Schedule s = ga.schedule(uniform_tasks(30, 1.0), {1.0, 2.0});

@@ -1,0 +1,183 @@
+// phodis_server — the DataManager side of a real multi-process cluster.
+//
+// Serves the photon task pool over a TCP or Unix-domain socket, collects
+// the partial tallies returned by phodis_worker processes, merges them in
+// task-id order, and (unless --no-verify) re-runs the same task plan
+// serially to prove the distributed result is bitwise identical — the
+// repo's core reproducibility invariant, now across process boundaries.
+//
+//   ./phodis_server --listen unix:/tmp/phodis.sock --photons 200000
+//                   --chunk 5000 [--seed 11] [--lease 2.0] [--drop 0.05]
+//                   [--checkpoint run.ckpt] [--no-verify]
+//
+// With --checkpoint, progress (tasks, completion bits, result bytes) is
+// persisted atomically as results arrive; a SIGKILLed server restarted
+// with the same flags resumes instead of recomputing. Exits 0 only when
+// every task completed (and, unless --no-verify, the serial cross-check
+// matched bitwise).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+
+#include "core/app.hpp"
+#include "dist/runtime.hpp"
+#include "dist/scheduler.hpp"
+#include "mc/presets.hpp"
+#include "net/server.hpp"
+#include "util/bytes.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// The walkthrough medium of examples/cluster_throughput.cpp: grey
+/// matter, semi-infinite.
+phodis::core::SimulationSpec make_spec(std::uint64_t photons,
+                                       std::uint64_t seed) {
+  using namespace phodis;
+  core::SimulationSpec spec;
+  mc::LayeredMediumBuilder builder;
+  builder.add_semi_infinite_layer(
+      "grey matter",
+      mc::OpticalProperties::from_reduced(0.036, 2.2, 0.9, 1.4));
+  spec.kernel.medium = builder.build();
+  spec.photons = photons;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<std::uint8_t> tally_bytes(const phodis::mc::SimulationTally& tally) {
+  phodis::util::ByteWriter writer;
+  tally.serialize(writer);
+  return writer.take();
+}
+
+/// A checkpoint is only resumable into the task plan that produced it;
+/// a sidecar `<checkpoint>.meta` records the plan parameters so a
+/// restart with different flags is refused instead of silently merging
+/// a stale run's results.
+std::string plan_fingerprint(std::uint64_t photons, std::uint64_t chunk,
+                             std::uint64_t seed) {
+  return "photons=" + std::to_string(photons) +
+         " chunk=" + std::to_string(chunk) +
+         " seed=" + std::to_string(seed) + "\n";
+}
+
+void write_plan_meta(const std::string& path, const std::string& fingerprint) {
+  std::ofstream out(path, std::ios::trunc);
+  out << fingerprint;
+  if (!out) {
+    throw std::runtime_error("phodis_server: cannot write " + path);
+  }
+}
+
+std::string read_plan_meta(const std::string& path) {
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  return content;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phodis;
+  const util::CliArgs args(argc, argv);
+  const std::string listen_spec =
+      args.get("listen", "tcp:127.0.0.1:4070");
+  const auto photons =
+      static_cast<std::uint64_t>(args.get_int("photons", 200'000));
+  auto chunk = static_cast<std::uint64_t>(args.get_int("chunk", 0));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const double lease_s = args.get_double("lease", 2.0);
+  const std::string checkpoint_path = args.get("checkpoint", "");
+  dist::FaultSpec faults;
+  faults.drop_probability = args.get_double("drop", 0.0);
+  faults.seed = static_cast<std::uint64_t>(args.get_int("drop-seed", 2006));
+
+  try {
+    const core::MonteCarloApp app(make_spec(photons, seed));
+    if (chunk == 0) chunk = dist::suggest_chunk_size(photons, 4);
+    const std::vector<dist::TaskRecord> tasks = app.build_tasks(chunk, 1);
+
+    dist::DataManager manager(lease_s);
+    const std::string meta_path = checkpoint_path + ".meta";
+    const std::string fingerprint = plan_fingerprint(photons, chunk, seed);
+    if (!checkpoint_path.empty() &&
+        std::filesystem::exists(checkpoint_path)) {
+      if (read_plan_meta(meta_path) != fingerprint) {
+        std::cerr << "phodis_server: " << checkpoint_path
+                  << " was written for a different task plan (see "
+                  << meta_path << "); refusing to resume\n";
+        return 1;
+      }
+      manager.restore_from_file(checkpoint_path);
+      std::cout << "phodis_server: resumed " << manager.completed_count()
+                << " completed / "
+                << manager.completed_count() + manager.pending_count()
+                << " tasks from " << checkpoint_path << "\n";
+    } else {
+      if (!checkpoint_path.empty()) {
+        write_plan_meta(meta_path, fingerprint);
+      }
+      for (const dist::TaskRecord& task : tasks) {
+        manager.add_task(task.task_id, task.payload);
+      }
+    }
+
+    net::Server transport(net::Address::parse(listen_spec), faults);
+    std::cout << "phodis_server: listening on "
+              << transport.local_address().to_string() << " ("
+              << tasks.size() << " tasks of <= " << chunk
+              << " photons, lease " << lease_s << " s)" << std::endl;
+
+    util::Stopwatch clock;
+    dist::ServerLoopOptions loop_options;
+    loop_options.checkpoint_path = checkpoint_path;
+    loop_options.checkpoint_every = 4;
+    dist::run_server_loop(transport, manager, loop_options);
+    const double serve_seconds = clock.seconds();
+
+    const auto results = manager.results();
+    if (results.size() != tasks.size()) {
+      std::cerr << "phodis_server: completed " << results.size() << " of "
+                << tasks.size() << " tasks\n";
+      return 1;
+    }
+    const mc::SimulationTally tally = app.merge_results(results);
+    const auto stats = manager.stats();
+
+    util::TextTable table({"metric", "value"});
+    table.add_row({"tasks", std::to_string(tasks.size())});
+    table.add_row({"completions", std::to_string(stats.completions)});
+    table.add_row({"re-issued leases",
+                   std::to_string(stats.lease_expirations)});
+    table.add_row({"duplicate results discarded",
+                   std::to_string(stats.duplicate_results)});
+    table.add_row({"frames sent / dropped",
+                   std::to_string(transport.frames_sent()) + " / " +
+                       std::to_string(transport.frames_dropped())});
+    table.add_row({"serve wall seconds",
+                   util::format_double(serve_seconds, 4)});
+    table.add_row({"diffuse reflectance",
+                   util::format_double(tally.diffuse_reflectance(), 6)});
+    table.print(std::cout);
+
+    transport.shutdown();
+
+    if (args.get_flag("no-verify")) {
+      std::cout << "serial cross-check: skipped (--no-verify)\n";
+      return 0;
+    }
+    const mc::SimulationTally serial = app.run_serial(chunk);
+    const bool identical = tally_bytes(serial) == tally_bytes(tally);
+    std::cout << "serial cross-check: bitwise-identical: "
+              << (identical ? "yes" : "NO") << "\n";
+    return identical ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "phodis_server: " << error.what() << "\n";
+    return 1;
+  }
+}

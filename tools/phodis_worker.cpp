@@ -1,0 +1,63 @@
+// phodis_worker — the client side of a real multi-process cluster (the
+// paper's `Algorithm` on a non-dedicated PC).
+//
+// Connects to a phodis_server, pulls tasks, runs their photons, returns
+// serialised partial tallies, and exits when the server says the run is
+// complete. Connection loss is survived by reconnecting with backoff; a
+// server that stays gone makes the worker exit non-zero instead of
+// spinning.
+//
+//   ./phodis_worker --connect unix:/tmp/phodis.sock [--name w0]
+//                   [--drop 0.0] [--drop-seed 2006]
+//                   [--death 0.0] [--death-seed 2006]
+//                   [--reconnect-attempts 20]
+//
+// --death injects the paper's client churn without a kill(1): the worker
+// abandons that assignment and rejoins under a fresh name, leaving the
+// lease to expire server-side.
+#include <unistd.h>
+
+#include <iostream>
+
+#include "core/app.hpp"
+#include "dist/runtime.hpp"
+#include "net/client.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phodis;
+  const util::CliArgs args(argc, argv);
+  const std::string connect_spec =
+      args.get("connect", "tcp:127.0.0.1:4070");
+  std::string default_name = "w";
+  default_name += std::to_string(::getpid());
+  const std::string name = args.get("name", default_name);
+  dist::FaultSpec faults;
+  faults.drop_probability = args.get_double("drop", 0.0);
+  faults.seed = static_cast<std::uint64_t>(args.get_int("drop-seed", 2006));
+  net::ReconnectPolicy reconnect;
+  reconnect.max_attempts =
+      static_cast<std::size_t>(args.get_int("reconnect-attempts", 20));
+
+  try {
+    net::Client transport(net::Address::parse(connect_spec), name, faults,
+                          reconnect);
+    dist::WorkerLoopOptions options;
+    options.name = name;
+    options.death_probability = args.get_double("death", 0.0);
+    options.death_seed =
+        static_cast<std::uint64_t>(args.get_int("death-seed", 2006));
+    const dist::WorkerLoopOutcome outcome =
+        dist::run_worker_loop(transport, core::Algorithm::execute, options);
+    std::cout << "phodis_worker " << outcome.final_name << ": executed "
+              << outcome.tasks_executed << " tasks, died "
+              << outcome.deaths << " times, "
+              << (outcome.saw_shutdown ? "shut down by server"
+                                       : "lost the server")
+              << "\n";
+    return outcome.saw_shutdown ? 0 : 2;
+  } catch (const std::exception& error) {
+    std::cerr << "phodis_worker: " << error.what() << "\n";
+    return 1;
+  }
+}
