@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"medium", "model", "Rd", "stderr", "absorbed",
                          "time (s)"});
-  util::CsvWriter csv("boundary_modes.csv");
+  util::CsvWriter csv(util::output_file(args, "boundary_modes.csv"));
   csv.header({"medium", "model", "rd", "stderr", "seconds"});
   for (const Medium& medium : media) {
     for (const mc::BoundaryModel model :
@@ -108,6 +108,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(the two models are unbiased estimators of the same "
                "reflectance; classical splitting trades per-photon cost "
                "for variance at mismatched boundaries)\n"
-            << "written to boundary_modes.csv\n";
+            << "written to " << csv.path() << "\n";
   return 0;
 }

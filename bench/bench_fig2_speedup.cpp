@@ -6,20 +6,100 @@
 // The paper reports near-linear speedup with >= 97% efficiency at 60
 // processors; this bench prints the series and an ASCII speedup plot.
 //
-// Flags: --photons N (default 1e9), --chunk N (1e6), --max-procs K (60)
+// A second, *measured* section re-takes the Fig. 2 curve on real
+// hardware: the actual kernel through exec::ParallelKernelRunner at
+// 1, 2, 4, ... threads, reporting photons/sec, speedup, and a bitwise
+// cross-check against the 1-thread tally (exits non-zero on mismatch).
+//
+// Flags: --photons N (default 1e9), --chunk N (1e6), --max-procs K (60),
+//        --measure-photons N (default 60000; 0 skips the measured
+//        section), --measure-threads K (default max(4, cores))
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cluster/fleet.hpp"
 #include "cluster/simulator.hpp"
+#include "core/app.hpp"
+#include "exec/parallel.hpp"
+#include "mc/presets.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Measured threaded-kernel speedup on this machine: the same photon
+/// budget through MonteCarloApp::run_parallel at increasing thread
+/// counts. Returns false when any thread count diverged bitwise.
+bool run_measured_section(std::uint64_t photons, std::size_t max_threads,
+                          const std::string& out_dir) {
+  using namespace phodis;
+  std::cout << "\n=== Measured: threaded kernel on this host ("
+            << exec::ThreadPool::default_thread_count()
+            << " hardware threads) ===\n"
+            << photons << " photons, grey-matter medium, shards of "
+            << exec::kDefaultShardPhotons << " photons\n\n";
+
+  core::SimulationSpec spec;
+  mc::LayeredMediumBuilder builder;
+  builder.add_semi_infinite_layer(
+      "grey matter",
+      mc::OpticalProperties::from_reduced(0.036, 2.2, 0.9, 1.4));
+  spec.kernel.medium = builder.build();
+  spec.photons = photons;
+  spec.seed = 2006;
+  const core::MonteCarloApp app(spec);
+
+  std::vector<std::size_t> thread_counts;
+  for (std::size_t t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads) thread_counts.push_back(max_threads);
+
+  util::TextTable table(
+      {"threads", "wall (s)", "photons/sec", "speedup", "bitwise"});
+  util::CsvWriter csv(util::output_file(out_dir, "fig2_measured_threads.csv"));
+  csv.header({"threads", "wall_s", "photons_per_s", "speedup"});
+
+  std::vector<std::uint8_t> reference;
+  double serial_seconds = 0.0;
+  bool all_identical = true;
+  for (std::size_t threads : thread_counts) {
+    util::Stopwatch stopwatch;
+    const mc::SimulationTally tally = app.run_parallel(threads);
+    const double seconds = stopwatch.seconds();
+    std::vector<std::uint8_t> bytes = tally.to_bytes();
+    bool identical = true;
+    if (reference.empty()) {
+      reference = std::move(bytes);
+      serial_seconds = seconds;
+    } else {
+      identical = bytes == reference;
+      all_identical = all_identical && identical;
+    }
+    const double rate = static_cast<double>(photons) / seconds;
+    const double speedup = serial_seconds / seconds;
+    table.add_row({std::to_string(threads), util::format_double(seconds, 4),
+                   util::format_double(rate, 6),
+                   util::format_double(speedup, 4),
+                   identical ? "yes" : "NO"});
+    csv.row({static_cast<double>(threads), seconds, rate, speedup});
+  }
+  table.print(std::cout);
+  std::cout << "(speedup is relative to 1 thread; expect ~min(threads, "
+               "cores) on an idle machine)\nmeasured series written to "
+            << csv.path() << "\n";
+  return all_identical;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace phodis;
   const util::CliArgs args(argc, argv);
+  const std::string out_dir =
+      args.get("out-dir", util::default_output_dir());
   const auto photons =
       static_cast<std::uint64_t>(args.get_int("photons", 1'000'000'000));
   const auto chunk =
@@ -49,7 +129,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table(
       {"processors", "makespan (s)", "speedup", "efficiency"});
-  util::CsvWriter csv("fig2_speedup.csv");
+  util::CsvWriter csv(util::output_file(out_dir, "fig2_speedup.csv"));
   csv.header({"processors", "makespan_s", "speedup", "efficiency"});
   for (const auto& point : series) {
     table.add_row({std::to_string(point.processors),
@@ -84,6 +164,28 @@ int main(int argc, char** argv) {
   std::cout << "\nefficiency at " << last.processors
             << " processors: " << last.efficiency * 100.0
             << " %  (paper: ~97 % at 60)\n"
-            << "series written to fig2_speedup.csv\n";
-  return (last.efficiency > 0.90 && last.efficiency <= 1.0) ? 0 : 1;
+            << "series written to " << csv.path() << "\n";
+  const bool simulated_ok = last.efficiency > 0.90 && last.efficiency <= 1.0;
+
+  const auto measure_photons = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, args.get_int("measure-photons", 60'000)));
+  bool measured_ok = true;
+  if (measure_photons > 0) {
+    // 0 (or anything non-positive) means "one per core", like
+    // phodis_worker --threads.
+    const std::int64_t requested = args.get_int(
+        "measure-threads",
+        static_cast<std::int64_t>(std::max<std::size_t>(
+            4, exec::ThreadPool::default_thread_count())));
+    const std::size_t measure_threads =
+        requested > 0 ? static_cast<std::size_t>(requested)
+                      : exec::ThreadPool::default_thread_count();
+    measured_ok =
+        run_measured_section(measure_photons, measure_threads, out_dir);
+    if (!measured_ok) {
+      std::cout << "MEASURED FAIL: a thread count changed the tally "
+                   "bitwise\n";
+    }
+  }
+  return (simulated_ok && measured_ok) ? 0 : 1;
 }

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   const double launched = static_cast<double>(tally.photons_launched());
   util::TextTable layers({"layer", "absorbed weight", "fraction of launched",
                           "fraction of absorbed"});
-  util::CsvWriter csv("fig4_layer_absorption.csv");
+  util::CsvWriter csv(util::output_file(args, "fig4_layer_absorption.csv"));
   csv.header({"layer", "absorbed_fraction"});
   double absorbed_total = 0.0;
   for (std::size_t i = 0; i < head.layer_count(); ++i) {
@@ -113,8 +113,10 @@ int main(int argc, char** argv) {
   options.max_rows = 30;
   std::cout << "\nfluence map, y = 0 slice (rows ~1 mm of depth):\n"
             << analysis::render_ascii_slice(*tally.fluence_grid(), options);
-  analysis::write_csv_slice(*tally.fluence_grid(), "fig4_fluence_slice.csv");
-  std::cout << "\nfluence slice written to fig4_fluence_slice.csv\n";
+  const std::string slice_path =
+      util::output_file(args, "fig4_fluence_slice.csv");
+  analysis::write_csv_slice(*tally.fluence_grid(), slice_path);
+  std::cout << "\nfluence slice written to " << slice_path << "\n";
 
   const bool ok = tally.diffuse_reflectance() + tally.specular_reflectance() >
                       0.3 &&          // most photons come back out

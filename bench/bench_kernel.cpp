@@ -1,8 +1,16 @@
 // Microbenchmarks of the kernel stages (google-benchmark): the per-stage
-// costs behind the flops-per-photon parameter the cluster simulator uses.
+// costs behind the flops-per-photon parameter the cluster simulator
+// uses, plus the threaded-kernel scaling curve (photons/sec vs thread
+// count through exec::ParallelKernelRunner — compare items_per_second
+// across the Threads arguments; determinism is asserted in
+// tests/test_parallel_kernel.cpp, throughput is measured here).
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "core/spec.hpp"
+#include "exec/parallel.hpp"
+#include "exec/threadpool.hpp"
 #include "mc/fresnel.hpp"
 #include "mc/kernel.hpp"
 #include "mc/presets.hpp"
@@ -85,6 +93,38 @@ void BM_PhotonHeadModel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PhotonHeadModel);
+
+/// Threaded full-kernel throughput in the default (white-matter) preset:
+/// one task's shard plan executed on N pool threads. items_per_second is
+/// photons/sec; the serial baseline is the Threads=1 run (which skips
+/// the pool entirely, exactly like run_serial).
+void BM_PhotonsSharded(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kPhotonsPerIteration = 16'384;
+
+  mc::KernelConfig config;
+  config.medium = mc::homogeneous_white_matter();
+  const mc::Kernel kernel(config);
+  std::optional<exec::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  const exec::ParallelKernelRunner runner(kernel, pool ? &*pool : nullptr,
+                                          1024);
+  std::uint64_t task_id = 0;
+  for (auto _ : state) {
+    const mc::SimulationTally tally =
+        runner.run(kPhotonsPerIteration, 5, task_id++);
+    benchmark::DoNotOptimize(tally.diffuse_reflectance());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPhotonsPerIteration));
+}
+BENCHMARK(BM_PhotonsSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GridDeposit(benchmark::State& state) {
   mc::VoxelGrid3D grid(mc::GridSpec::cube(50, 25.0, 50.0));

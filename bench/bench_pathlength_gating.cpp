@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
 
   util::TextTable table({"gate (mm optical)", "detected", "fraction of open",
                          "mean pathlength (mm)"});
-  util::CsvWriter csv("gating_sweep.csv");
+  util::CsvWriter csv(util::output_file(args, "gating_sweep.csv"));
   csv.header({"gate_lo_mm", "gate_hi_mm", "detections", "mean_path_mm"});
   for (const Gate& gate : gates) {
     core::SimulationSpec gated = spec;
@@ -99,6 +99,6 @@ int main(int argc, char** argv) {
 
   std::cout << "\n(gating selects a pathlength band: early gates see the "
                "short, shallow paths; late gates the deep wanderers)\n"
-            << "sweep written to gating_sweep.csv\n";
+            << "sweep written to " << csv.path() << "\n";
   return open_tally.photons_detected() > 0 ? 0 : 1;
 }

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   const mc::RadialTally& radial = *tally.radial();
   util::TextTable table({"rho (mm)", "R_mc (1/mm^2)", "R_diffusion",
                          "MC/theory"});
-  util::CsvWriter csv("radial_reflectance.csv");
+  util::CsvWriter csv(util::output_file(args, "radial_reflectance.csv"));
   csv.header({"rho_mm", "r_mc_per_mm2", "r_diffusion_per_mm2", "ratio"});
   double worst_ratio = 1.0;
   for (std::size_t ir = 2; ir < radial.spec().nr; ir += 2) {
@@ -79,6 +79,6 @@ int main(int argc, char** argv) {
             << "x (diffusion theory itself is ~10-20% off near the "
                "source; agreement within ~1.5x in the diffusive regime "
                "validates the kernel)\n"
-            << "series written to radial_reflectance.csv\n";
+            << "series written to " << csv.path() << "\n";
   return worst_ratio < 2.0 ? 0 : 1;
 }

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
   util::TextTable table({"source", "shallow RMS radius (mm)",
                          "scalp absorption", "white-matter absorption",
                          "median max depth (mm)"});
-  util::CsvWriter csv("sources_footprint.csv");
+  util::CsvWriter csv(util::output_file(args, "sources_footprint.csv"));
   csv.header({"source", "shallow_rms_mm", "scalp_abs", "white_abs",
               "median_depth_mm"});
 
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
   const mc::SimulationTally wm_tally = wm_app.run_serial();
 
   util::TextTable beam({"depth (mm)", "RMS beam radius (mm)"});
-  util::CsvWriter beam_csv("sources_beam_spread.csv");
+  util::CsvWriter beam_csv(util::output_file(args, "sources_beam_spread.csv"));
   beam_csv.header({"z_mm", "rms_radius_mm"});
   const auto beam_series =
       analysis::beam_spread_by_depth(*wm_tally.fluence_grid());
@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
                          .props.mus_reduced()
             << " mm: the laser footprint stays a few mm RMS even 10 mm "
                "deep -> claim B)\n"
-            << "series written to sources_footprint.csv, "
-               "sources_beam_spread.csv\n";
+            << "series written to " << csv.path() << ", "
+            << beam_csv.path() << "\n";
   return 0;
 }

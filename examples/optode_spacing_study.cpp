@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   util::TextTable table({"spacing (mm)", "detected", "mean path (mm)",
                          "DPF (MC)", "DPF (diffusion)",
                          "banana mid depth (mm)"});
-  util::CsvWriter csv("optode_spacing.csv");
+  util::CsvWriter csv(util::output_file(args, "optode_spacing.csv"));
   csv.header({"spacing_mm", "detections", "mean_path_mm", "dpf_mc",
               "dpf_theory", "mid_depth_mm"});
 
@@ -73,6 +73,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(wider optode spacing probes deeper and stretches the "
                "differential pathlength — the paper's Sect. 1/2 "
-               "discussion)\nwritten to optode_spacing.csv\n";
+               "discussion)\nwritten to " << csv.path() << "\n";
   return 0;
 }

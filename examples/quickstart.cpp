@@ -5,7 +5,9 @@
 //   3. run the simulation through the distributed application,
 //   4. read the answers off the merged tally.
 //
-// Build & run:  ./quickstart [--photons 50000] [--workers 4]
+// Build & run:  ./quickstart [--photons 50000] [--workers 4] [--threads 1]
+// (--threads N shards each task over a worker-side pool — same bits,
+//  more cores)
 #include <iostream>
 
 #include "core/app.hpp"
@@ -42,6 +44,8 @@ int main(int argc, char** argv) {
   core::MonteCarloApp app(spec);
   core::ExecutionOptions options;
   options.workers = static_cast<std::size_t>(args.get_int("workers", 4));
+  options.threads_per_worker =
+      static_cast<std::size_t>(args.get_int("threads", 1));
   const core::RunSummary summary = app.run_distributed(options);
   const mc::SimulationTally& tally = summary.tally;
 

@@ -1,25 +1,52 @@
 #include "core/app.hpp"
 
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "dist/scheduler.hpp"
+#include "exec/parallel.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
 namespace phodis::core {
 
-std::vector<std::uint8_t> Algorithm::execute(
-    std::uint64_t task_id, const std::vector<std::uint8_t>& payload) {
+namespace {
+
+/// The one per-task computation every execution path shares: decode,
+/// rebuild the kernel, run the task's shard plan (optionally on a
+/// pool), serialise the merged task tally.
+std::vector<std::uint8_t> execute_task(exec::ThreadPool* pool,
+                                       std::uint64_t task_id,
+                                       const std::vector<std::uint8_t>& payload) {
   const TaskPayload task = TaskPayload::decode(payload);
   const mc::Kernel kernel(task.spec.kernel);
-  mc::SimulationTally tally = kernel.make_tally();
-  util::Xoshiro256pp rng =
-      util::Xoshiro256pp::for_task(task.spec.seed, task_id);
-  kernel.run(task.task_photons, rng, tally);
+  const exec::ParallelKernelRunner runner(kernel, pool);
+  const mc::SimulationTally tally =
+      runner.run(task.task_photons, task.spec.seed, task_id);
 
   util::ByteWriter writer;
   tally.serialize(writer);
   return writer.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Algorithm::execute(
+    std::uint64_t task_id, const std::vector<std::uint8_t>& payload) {
+  return execute_task(nullptr, task_id, payload);
+}
+
+dist::TaskExecutor Algorithm::executor(std::size_t threads) {
+  if (threads == 0) threads = exec::ThreadPool::default_thread_count();
+  if (threads <= 1) return &Algorithm::execute;
+  // One pool shared by every call (and every calling thread); each
+  // call's shard batch completes independently.
+  auto pool = std::make_shared<exec::ThreadPool>(threads);
+  return [pool](std::uint64_t task_id,
+                const std::vector<std::uint8_t>& payload) {
+    return execute_task(pool.get(), task_id, payload);
+  };
 }
 
 void ExecutionOptions::validate() const {
@@ -50,14 +77,23 @@ std::vector<std::uint64_t> MonteCarloApp::plan_chunks(
 
 mc::SimulationTally MonteCarloApp::run_serial(
     std::uint64_t chunk_photons) const {
+  return run_parallel(1, chunk_photons);
+}
+
+mc::SimulationTally MonteCarloApp::run_parallel(
+    std::size_t threads, std::uint64_t chunk_photons) const {
+  if (threads == 0) threads = exec::ThreadPool::default_thread_count();
+  // Always the single-worker task plan: thread count must not move the
+  // task boundaries, only how each task's shards are executed.
   const std::vector<std::uint64_t> chunks = plan_chunks(chunk_photons, 1);
   const mc::Kernel kernel(spec_.kernel);
+  std::optional<exec::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  const exec::ParallelKernelRunner runner(kernel,
+                                          pool ? &*pool : nullptr);
   mc::SimulationTally merged = kernel.make_tally();
   for (std::size_t task_id = 0; task_id < chunks.size(); ++task_id) {
-    mc::SimulationTally partial = kernel.make_tally();
-    util::Xoshiro256pp rng = util::Xoshiro256pp::for_task(spec_.seed, task_id);
-    kernel.run(chunks[task_id], rng, partial);
-    merged.merge(partial);
+    merged.merge(runner.run(chunks[task_id], spec_.seed, task_id));
   }
   return merged;
 }
@@ -112,8 +148,19 @@ RunSummary MonteCarloApp::run_distributed(
   runtime_config.transport_faults = options.transport_faults;
   runtime_config.worker_death_probability = options.worker_death_probability;
 
+  // The executor's pool is shared by all in-process workers, so size it
+  // for the whole fleet: workers x threads_per_worker compute threads
+  // (0 = saturate the host). threads_per_worker == 1 keeps the classic
+  // path where each worker thread computes its own task directly.
+  const std::size_t pool_threads =
+      options.threads_per_worker == 0
+          ? exec::ThreadPool::default_thread_count()
+          : (options.threads_per_worker > 1
+                 ? options.workers * options.threads_per_worker
+                 : 1);
   dist::Runtime runtime(runtime_config);
-  dist::RuntimeReport report = runtime.run(tasks, Algorithm::execute);
+  dist::RuntimeReport report =
+      runtime.run(tasks, Algorithm::executor(pool_threads));
 
   if (report.results.size() != tasks.size()) {
     throw std::runtime_error("MonteCarloApp: missing task results");

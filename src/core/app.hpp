@@ -14,6 +14,12 @@
 // DESIGN.md §4.1 commits to. Note the task plan itself is only fixed
 // when chunk_photons is explicit: auto-chunking (chunk_photons = 0)
 // scales the chunk size with the worker count.
+//
+// Inside a task, photons run as the fixed shard plan of
+// exec::ParallelKernelRunner (jump()-derived sub-streams, merged in
+// shard order), so a task's tally is also bitwise identical whether its
+// shards ran on 1 thread or 16 — run_serial, run_parallel, and every
+// worker thread count all produce the same bytes.
 #pragma once
 
 #include <cstdint>
@@ -28,17 +34,32 @@ namespace phodis::core {
 
 /// Client-side class (the paper's `Algorithm`): decodes a task payload,
 /// reconstructs the kernel, runs this task's photons on the task's own
-/// RNG stream, and returns the serialised partial tally.
+/// RNG stream (sharded, see exec::ParallelKernelRunner), and returns the
+/// serialised partial tally.
 class Algorithm {
  public:
+  /// Single-threaded execution of the task's shard plan.
   static std::vector<std::uint8_t> execute(
       std::uint64_t task_id, const std::vector<std::uint8_t>& payload);
+
+  /// A TaskExecutor running each task's shards on `threads` pool
+  /// threads (0 = one per core). The pool is shared across calls and
+  /// the executor is thread-safe; results are bitwise identical to
+  /// execute() for any thread count.
+  static dist::TaskExecutor executor(std::size_t threads);
 };
 
 struct ExecutionOptions {
   std::size_t workers = 2;
   /// Photons per task; 0 picks a size giving each worker ~4 pulls.
   std::uint64_t chunk_photons = 0;
+  /// Shard threads per worker (1 = each worker computes its task on its
+  /// own thread, the classic path). For values > 1 the workers share one
+  /// pool sized workers x threads_per_worker, so total compute
+  /// parallelism never drops below the workers-only baseline; 0 sizes
+  /// that shared pool to the host's hardware threads instead (saturate
+  /// the machine, however many workers). Does not change results.
+  std::size_t threads_per_worker = 1;
   double lease_duration_s = 5.0;
   dist::FaultSpec transport_faults;
   double worker_death_probability = 0.0;
@@ -64,8 +85,15 @@ class MonteCarloApp {
   /// Single-threaded execution of the same task plan; merging in task-id
   /// order makes this bitwise identical to run_distributed with the same
   /// explicit chunk_photons (0 auto-sizes for a single worker, which in
-  /// general differs from the multi-worker auto plan).
+  /// general differs from the multi-worker auto plan). Equivalent to
+  /// run_parallel(1, chunk_photons).
   mc::SimulationTally run_serial(std::uint64_t chunk_photons = 0) const;
+
+  /// Same task plan as run_serial, with each task's shards spread over
+  /// `threads` pool threads (0 = one per core). Bitwise identical to
+  /// run_serial for every thread count.
+  mc::SimulationTally run_parallel(std::size_t threads,
+                                   std::uint64_t chunk_photons = 0) const;
 
   /// Full platform execution: DataManager + worker pool over the loopback
   /// transport, with optional fault injection.

@@ -10,8 +10,10 @@ namespace phodis::dist {
 
 namespace {
 /// File header of checkpoint_to_file: 8 magic bytes + a format version.
+/// Version 2 added the sink-state blob between the header and the task
+/// table (streaming-merge mode); v1 files are refused.
 constexpr char kCheckpointMagic[8] = {'P', 'H', 'O', 'D', 'C', 'K', 'P', 'T'};
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 }  // namespace
 
 DataManager::DataManager(double lease_duration_s)
@@ -57,38 +59,54 @@ std::optional<TaskRecord> DataManager::lease_next(const std::string& worker,
 bool DataManager::complete(std::uint64_t task_id,
                            const std::string& /*worker*/, double /*now*/,
                            std::vector<std::uint8_t> result) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = tasks_.find(task_id);
-  if (it == tasks_.end()) {
-    ++stats_.unknown_results;
-    return false;
-  }
-  Task& task = it->second;
-  switch (task.state) {
-    case State::kCompleted:
-      ++stats_.duplicate_results;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = tasks_.find(task_id);
+    if (it == tasks_.end()) {
+      ++stats_.unknown_results;
       return false;
-    case State::kInFlight:
-      --in_flight_;
-      break;
-    case State::kPending:
-      // Expired-and-requeued task whose original worker finally answered;
-      // its stale queue entry will be skipped by lease_next.
-      --pending_;
-      break;
+    }
+    Task& task = it->second;
+    switch (task.state) {
+      case State::kCompleted:
+        ++stats_.duplicate_results;
+        return false;
+      case State::kInFlight:
+        --in_flight_;
+        break;
+      case State::kPending:
+        // Expired-and-requeued task whose original worker finally answered;
+        // its stale queue entry will be skipped by lease_next.
+        --pending_;
+        break;
+    }
+    task.state = State::kCompleted;
+    task.worker.clear();
+    if (!result_sink_) task.result = std::move(result);
+    ++completed_;
+    ++stats_.completions;
   }
-  task.state = State::kCompleted;
-  task.worker.clear();
-  task.result = std::move(result);
-  ++completed_;
-  ++stats_.completions;
+  // First acceptance only (duplicates returned above): stream the bytes
+  // out instead of retaining them. Outside the lock so the sink may use
+  // the manager (e.g. checkpoint) without deadlocking.
+  if (result_sink_) result_sink_(task_id, std::move(result));
   return true;
+}
+
+void DataManager::set_result_sink(ResultSink sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (completed_ != 0) {
+    throw std::logic_error(
+        "DataManager: result sink must be set before any completion");
+  }
+  result_sink_ = std::move(sink);
 }
 
 std::map<std::uint64_t, std::vector<std::uint8_t>> DataManager::results()
     const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::uint64_t, std::vector<std::uint8_t>> out;
+  if (result_sink_) return out;  // streamed to the sink, not retained
   for (const auto& [id, task] : tasks_) {
     if (task.state == State::kCompleted) out.emplace(id, task.result);
   }
@@ -201,12 +219,15 @@ void DataManager::restore(util::ByteReader& reader) {
   stats_.tasks_added += count;
 }
 
-void DataManager::checkpoint_to_file(const std::string& path) const {
+void DataManager::checkpoint_to_file(
+    const std::string& path,
+    const std::vector<std::uint8_t>& sink_state) const {
   util::ByteWriter writer;
   for (char byte : kCheckpointMagic) {
     writer.u8(static_cast<std::uint8_t>(byte));
   }
   writer.u32(kCheckpointVersion);
+  writer.blob(sink_state);
   checkpoint(writer);
 
   const std::string tmp_path = path + ".tmp";
@@ -229,7 +250,8 @@ void DataManager::checkpoint_to_file(const std::string& path) const {
   }
 }
 
-void DataManager::restore_from_file(const std::string& path) {
+std::vector<std::uint8_t> DataManager::restore_from_file(
+    const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("DataManager: cannot open checkpoint " + path);
@@ -248,11 +270,13 @@ void DataManager::restore_from_file(const std::string& path) {
     throw std::invalid_argument("DataManager: checkpoint version " +
                                 std::to_string(version) + " not supported");
   }
+  std::vector<std::uint8_t> sink_state = reader.blob();
   restore(reader);
   if (!reader.exhausted()) {
     throw std::length_error("DataManager: trailing bytes in checkpoint " +
                             path);
   }
+  return sink_state;
 }
 
 }  // namespace phodis::dist

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -39,6 +40,12 @@ struct DataManagerStats {
   std::uint64_t unknown_results = 0;    ///< results for unknown task ids
 };
 
+/// Receives each task's first-accepted result bytes exactly once (see
+/// set_result_sink). Invoked outside the manager's lock, in completion
+/// order; must be thread-safe if complete() is called concurrently.
+using ResultSink =
+    std::function<void(std::uint64_t task_id, std::vector<std::uint8_t>)>;
+
 class DataManager {
  public:
   /// `lease_duration_s` must be > 0.
@@ -58,7 +65,18 @@ class DataManager {
   bool complete(std::uint64_t task_id, const std::string& worker, double now,
                 std::vector<std::uint8_t> result = {});
 
-  /// First-accepted result bytes of every completed task, keyed by id.
+  /// Stream results instead of retaining them: every first-accepted
+  /// result is handed to `sink` and its bytes are no longer stored, so
+  /// server memory stays bounded however many tasks complete (the
+  /// ROADMAP's 1e9-photon concern). Must be set before any completion;
+  /// exactly-once semantics are unchanged (duplicates never reach the
+  /// sink). results() returns an empty map in this mode — the sink owner
+  /// holds the reduced state and persists it via the checkpoint
+  /// `sink_state` parameter.
+  void set_result_sink(ResultSink sink);
+
+  /// First-accepted result bytes of every completed task, keyed by id
+  /// (empty when a result sink is streaming them instead).
   std::map<std::uint64_t, std::vector<std::uint8_t>> results() const;
 
   /// Requeue every lease whose deadline has been reached. Returns how
@@ -92,13 +110,18 @@ class DataManager {
   /// Persist a checkpoint to disk atomically: the bytes are written to
   /// `path`.tmp and renamed over `path`, so a crash mid-write leaves
   /// either the previous checkpoint or the new one, never a torn file.
+  /// `sink_state` is an opaque blob stored alongside the pool (the
+  /// result sink's reduced state in streaming mode; empty otherwise).
   /// Throws std::runtime_error on I/O failure.
-  void checkpoint_to_file(const std::string& path) const;
+  void checkpoint_to_file(const std::string& path,
+                          const std::vector<std::uint8_t>& sink_state = {})
+      const;
 
-  /// Restore from a file written by checkpoint_to_file. Same
-  /// preconditions as restore(); additionally validates the file's magic
-  /// and format version.
-  void restore_from_file(const std::string& path);
+  /// Restore from a file written by checkpoint_to_file and return the
+  /// sink-state blob it carried (empty when none). Same preconditions
+  /// as restore(); additionally validates the file's magic and format
+  /// version.
+  std::vector<std::uint8_t> restore_from_file(const std::string& path);
 
  private:
   enum class State : std::uint8_t { kPending, kInFlight, kCompleted };
@@ -113,6 +136,7 @@ class DataManager {
 
   mutable std::mutex mutex_;
   double lease_duration_s_;
+  ResultSink result_sink_;  ///< when set, results stream instead of persist
   std::map<std::uint64_t, Task> tasks_;
   /// FIFO of candidate ids; may hold stale entries for tasks that left
   /// the pending state (lease_next skips those lazily).

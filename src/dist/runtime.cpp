@@ -48,6 +48,12 @@ void run_server_loop(Transport& transport, DataManager& manager,
   // even workers that only joined for one pull.
   std::set<std::string> seen_workers;
   std::uint64_t completions_since_checkpoint = 0;
+  const auto write_checkpoint = [&] {
+    manager.checkpoint_to_file(
+        options.checkpoint_path,
+        options.checkpoint_state ? options.checkpoint_state()
+                                 : std::vector<std::uint8_t>{});
+  };
 
   while (!manager.all_done()) {
     auto msg = transport.receive(options.endpoint, options.poll_timeout_ms);
@@ -78,7 +84,7 @@ void run_server_loop(Transport& transport, DataManager& manager,
                            std::move(msg->payload))) {
         if (!options.checkpoint_path.empty() &&
             ++completions_since_checkpoint >= options.checkpoint_every) {
-          manager.checkpoint_to_file(options.checkpoint_path);
+          write_checkpoint();
           completions_since_checkpoint = 0;
         }
       }
@@ -86,7 +92,7 @@ void run_server_loop(Transport& transport, DataManager& manager,
   }
 
   if (!options.checkpoint_path.empty()) {
-    manager.checkpoint_to_file(options.checkpoint_path);
+    write_checkpoint();
   }
 
   // Tell every worker we ever heard from to exit; whoever misses the

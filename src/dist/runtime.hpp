@@ -41,6 +41,11 @@ struct ServerLoopOptions {
   /// Checkpoint after this many new completions (and always once at the
   /// end of the run).
   std::uint64_t checkpoint_every = 16;
+  /// Snapshot of the result sink's reduced state, stored inside each
+  /// checkpoint (streaming-merge mode, see DataManager::set_result_sink);
+  /// empty = no extra state. Called on the server-loop thread right
+  /// before the checkpoint is written.
+  std::function<std::vector<std::uint8_t>()> checkpoint_state;
 
   void validate() const;
 };

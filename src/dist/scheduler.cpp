@@ -77,6 +77,55 @@ void load_aware_move(std::vector<std::size_t>& genes,
   genes[task] = best;
 }
 
+/// One best-move descent step on the critical (last-finishing)
+/// processor: move a task off it so that both its new finish and the
+/// destination's stay strictly below the current critical finish,
+/// choosing the move that minimises max(new source, new destination)
+/// finish. This strictly decreases the sorted finish profile
+/// lexicographically, so descent cannot cycle even while the global
+/// makespan plateaus across several tied critical processors (the
+/// common case on large fleets — a plain "makespan must drop" rule
+/// stalls there). Returns true when a move was applied; `loads` is
+/// kept in sync.
+bool best_move_step(std::vector<std::size_t>& assignment,
+                    const std::vector<double>& sizes,
+                    const std::vector<double>& rates,
+                    std::vector<double>& loads) {
+  const std::size_t m = rates.size();
+  if (m < 2) return false;
+  std::size_t hot = 0;
+  double hot_finish = -1.0;
+  for (std::size_t p = 0; p < m; ++p) {
+    if (loads[p] / rates[p] > hot_finish) {
+      hot = p;
+      hot_finish = loads[p] / rates[p];
+    }
+  }
+
+  std::size_t best_task = sizes.size();
+  std::size_t best_proc = m;
+  double best_peak = hot_finish;
+  for (std::size_t task = 0; task < assignment.size(); ++task) {
+    if (assignment[task] != hot || sizes[task] <= 0.0) continue;
+    const double new_hot = (loads[hot] - sizes[task]) / rates[hot];
+    for (std::size_t p = 0; p < m; ++p) {
+      if (p == hot) continue;
+      const double new_p = (loads[p] + sizes[task]) / rates[p];
+      const double peak = std::max(new_hot, new_p);
+      if (peak < best_peak) {
+        best_peak = peak;
+        best_task = task;
+        best_proc = p;
+      }
+    }
+  }
+  if (best_proc == m) return false;  // local optimum for single moves
+  loads[hot] -= sizes[best_task];
+  loads[best_proc] += sizes[best_task];
+  assignment[best_task] = best_proc;
+  return true;
+}
+
 std::vector<std::size_t> greedy_lpt_assignment(
     const std::vector<double>& sizes, const std::vector<double>& rates) {
   std::vector<std::size_t> order(sizes.size());
@@ -125,6 +174,33 @@ std::uint64_t suggest_chunk_size(std::uint64_t total, std::size_t processors,
   }
   const std::uint64_t pulls = processors * pulls_per_processor;
   return std::max<std::uint64_t>(1, total / pulls);
+}
+
+std::size_t best_move_descent(std::vector<std::size_t>& assignment,
+                              const std::vector<double>& sizes,
+                              const std::vector<double>& rates,
+                              std::size_t max_moves) {
+  validate_inputs(sizes, rates);
+  if (assignment.size() != sizes.size()) {
+    throw std::invalid_argument(
+        "best_move_descent: assignment/sizes length mismatch");
+  }
+  for (std::size_t p : assignment) {
+    if (p >= rates.size()) {
+      throw std::invalid_argument(
+          "best_move_descent: assignment names an unknown processor");
+    }
+  }
+  std::vector<double> loads(rates.size(), 0.0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    loads[assignment[i]] += sizes[i];
+  }
+  std::size_t moves = 0;
+  while (moves < max_moves &&
+         best_move_step(assignment, sizes, rates, loads)) {
+    ++moves;
+  }
+  return moves;
 }
 
 double schedule_makespan(const std::vector<double>& sizes,
@@ -263,7 +339,30 @@ Schedule GaScheduler::schedule(const std::vector<double>& sizes,
     }
     population.swap(next);
     std::stable_sort(population.begin(), population.end(), by_fitness);
+    if (params_.elite_descent_moves > 0) {
+      // Memetic step: polish the generation's best towards a single-move
+      // local optimum. Descent only ever improves, so elitist
+      // monotonicity is preserved.
+      for (std::size_t e = 0; e < params_.elites; ++e) {
+        if (best_move_descent(population[e].genes, sizes, rates,
+                              params_.elite_descent_moves) > 0) {
+          evaluate(population[e]);
+        }
+      }
+      std::stable_sort(population.begin(), population.end(), by_fitness);
+    }
     convergence_.push_back(population.front().fitness);
+  }
+
+  if (params_.elite_descent_moves > 0) {
+    // Final intensification: drive the winner to a (budgeted) local
+    // optimum — per-generation descent polishes, this finishes the job.
+    best_move_descent(population.front().genes, sizes, rates,
+                      params_.elite_descent_moves *
+                          (params_.generations + 1));
+    evaluate(population.front());
+    convergence_.back() =
+        std::min(convergence_.back(), population.front().fitness);
   }
 
   Schedule result;

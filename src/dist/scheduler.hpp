@@ -66,12 +66,29 @@ class GreedyScheduler final : public StaticScheduler {
   std::string name() const override { return "greedy-lpt"; }
 };
 
+/// Best-move local-search descent: repeatedly move a task off the
+/// critical (last-finishing) processor so that both touched processors
+/// end strictly below the current critical finish, picking the move
+/// that minimises their new peak. The sorted finish profile decreases
+/// lexicographically on every move, so the descent cannot cycle — but
+/// the *global* makespan may stay flat for several moves while tied
+/// critical processors are worked off one by one. Stops when no such
+/// move exists or after `max_moves`. Deterministic (ties break toward
+/// the lowest task index and processor). Returns the moves applied.
+std::size_t best_move_descent(std::vector<std::size_t>& assignment,
+                              const std::vector<double>& sizes,
+                              const std::vector<double>& rates,
+                              std::size_t max_moves);
+
 /// Genetic-algorithm scheduler: chromosomes are assignments, fitness is
 /// makespan; tournament selection, uniform crossover, per-gene mutation,
 /// elitism, plus an optional load-aware move mutation (shift a task off
 /// the processor that finishes last onto the one that would finish it
 /// earliest — directed repair of exactly the gene that binds the
-/// fitness, where blind per-gene mutation almost never lands).
+/// fitness, where blind per-gene mutation almost never lands) and an
+/// optional best-move local-search descent on the elites each
+/// generation (memetic intensification: crossover explores, the elites
+/// are polished to a single-move local optimum).
 /// Deterministic for a fixed seed.
 class GaScheduler final : public StaticScheduler {
  public:
@@ -83,6 +100,9 @@ class GaScheduler final : public StaticScheduler {
     /// Per-child probability of the load-aware move mutation. 0 restores
     /// the pure random-mutation GA of the paper's ref. [4].
     double move_mutation_rate = 0.2;
+    /// Best-move descent steps applied to each elite per generation
+    /// (see best_move_descent); 0 disables the local search.
+    std::size_t elite_descent_moves = 0;
     std::size_t tournament = 3;    ///< selection tournament size
     bool seed_with_greedy = true;  ///< plant the LPT schedule in gen 0
     std::uint64_t seed = 2006;

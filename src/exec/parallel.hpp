@@ -1,0 +1,72 @@
+// exec::ParallelKernelRunner — multi-threaded execution of one task's
+// photon budget with a deterministic sub-stream reduction.
+//
+// A task's photons are split into fixed-size *shards*. Shard s runs on
+// the task's xoshiro256++ stream advanced by s jump()s (each jump is
+// 2^128 steps, so shards own non-overlapping sub-streams of the same
+// stream the serial path seeds), into its own private SimulationTally.
+// The shard tallies are then merged in shard order.
+//
+// The determinism contract: the shard plan and each shard's sub-stream
+// depend only on (photon count, shard size, task seed) — never on the
+// thread count — and the reduction order is fixed. Running the plan on
+// 1 thread therefore produces bitwise-identical results to running it
+// on 8, and `MonteCarloApp::run_serial` *is* the 1-thread execution of
+// this same plan, so serial and parallel runs agree to the last bit.
+// The shard size is part of that contract, exactly like the task chunk
+// size: compare runs only at equal `shard_photons`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/threadpool.hpp"
+#include "mc/kernel.hpp"
+#include "mc/tally.hpp"
+#include "util/rng.hpp"
+
+namespace phodis::exec {
+
+/// Photons per shard shared by every execution path (serial, in-process
+/// pool, socket workers). Changing it changes the sub-stream layout and
+/// hence the bitwise result, so it is one repo-wide constant.
+inline constexpr std::uint64_t kDefaultShardPhotons = 4096;
+
+/// Split `photons` into full shards of `shard_photons` plus the
+/// remainder as the (smaller) last shard. 0 photons yields an empty
+/// plan; `shard_photons` must be > 0.
+std::vector<std::uint64_t> shard_plan(std::uint64_t photons,
+                                      std::uint64_t shard_photons);
+
+/// The first `count` sub-streams of task (base_seed, task_id): entry s
+/// is the task stream advanced by s jumps.
+std::vector<util::Xoshiro256pp> shard_streams(std::uint64_t base_seed,
+                                              std::uint64_t task_id,
+                                              std::size_t count);
+
+/// Runs one task's photon budget over an optional ThreadPool. Borrows
+/// the kernel (and pool, when given); both must outlive the runner.
+/// run() may be called concurrently from several threads sharing one
+/// pool — each call's shard state is private to the call.
+class ParallelKernelRunner {
+ public:
+  /// `pool == nullptr` executes the shards on the calling thread — the
+  /// serial path, bitwise-identical to any pooled execution.
+  explicit ParallelKernelRunner(
+      const mc::Kernel& kernel, ThreadPool* pool = nullptr,
+      std::uint64_t shard_photons = kDefaultShardPhotons);
+
+  /// Simulate `photons` packets of the stream (base_seed, task_id),
+  /// sharded as above, and return the in-order-merged task tally.
+  mc::SimulationTally run(std::uint64_t photons, std::uint64_t base_seed,
+                          std::uint64_t task_id) const;
+
+  std::uint64_t shard_photons() const noexcept { return shard_photons_; }
+
+ private:
+  const mc::Kernel* kernel_;
+  ThreadPool* pool_;
+  std::uint64_t shard_photons_;
+};
+
+}  // namespace phodis::exec

@@ -1,0 +1,99 @@
+#include "exec/threadpool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace phodis::exec {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("ThreadPool: need >= 1 thread");
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::default_thread_count() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+
+    Batch* batch = queue_.front();
+    const std::size_t index = batch->next++;
+    if (batch->next == batch->jobs.size()) queue_.pop_front();
+
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      batch->jobs[index]();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+
+    // `batch` outlives this access: the submitter's stack frame holds it
+    // and only returns once `done` reaches the job count — which cannot
+    // happen before this increment.
+    if (error) batch->errors[index] = error;
+    if (++batch->done == batch->jobs.size()) batch->finished.notify_all();
+  }
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+
+  Batch batch;
+  batch.jobs = std::move(jobs);
+  batch.errors.resize(batch.jobs.size());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(&batch);
+  if (batch.jobs.size() >= workers_.size()) {
+    wake_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < batch.jobs.size(); ++i) wake_.notify_one();
+  }
+  batch.finished.wait(lock, [&] { return batch.done == batch.jobs.size(); });
+  lock.unlock();
+
+  // Rethrow the lowest-indexed failure so the surfaced error does not
+  // depend on which worker thread happened to run which job.
+  for (const std::exception_ptr& error : batch.errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, count / (4 * workers_.size()));
+  }
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve((count + grain - 1) / grain);
+  for (std::size_t begin = 0; begin < count; begin += grain) {
+    const std::size_t end = std::min(count, begin + grain);
+    jobs.push_back([&body, begin, end] { body(begin, end); });
+  }
+  run(std::move(jobs));
+}
+
+}  // namespace phodis::exec

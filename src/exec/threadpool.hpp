@@ -1,0 +1,84 @@
+// exec::ThreadPool — the reusable intra-process execution layer.
+//
+// The cluster runtime (src/dist/) parallelises *across* tasks; this pool
+// parallelises *inside* one, so a 16-core worker is not 15/16 idle while
+// it walks photons (the paper's whole point is extracting parallel
+// speedup from the Fig. 1 kernel). It is deliberately a small, generic
+// subsystem — fixed worker threads, a shared FIFO work queue, blocking
+// batch submission with exception propagation — kept separate from both
+// the physics kernel and the transport, in the style of the exafmm
+// task-pool layers: kernels submit work, they do not own threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace phodis::exec {
+
+/// Fixed-size pool of worker threads draining one FIFO job queue.
+///
+/// Work is submitted in blocking batches: `run` (a vector of jobs) and
+/// `parallel_for` (an index range in chunks). A batch call returns when
+/// every job of *that batch* has finished, so several threads may submit
+/// batches to one shared pool concurrently — each caller waits only on
+/// its own work. Exceptions thrown by jobs are captured and the one from
+/// the lowest job index is rethrown to the submitter (deterministic no
+/// matter which thread ran the job); the pool itself stays usable.
+///
+/// Jobs must not submit to the pool they run on (the submitter blocks,
+/// so nested submission can deadlock once all workers are blocked).
+class ThreadPool {
+ public:
+  /// Spawns exactly `threads` workers; `threads` must be >= 1 (callers
+  /// wanting "one per core" pass default_thread_count()).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins the workers. Must not be called while a batch is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency(), floored at 1.
+  static std::size_t default_thread_count() noexcept;
+
+  /// Execute every job on the pool and block until all are done. An
+  /// empty batch returns immediately without touching the queue. If any
+  /// job threw, the exception of the lowest-indexed throwing job is
+  /// rethrown here after the whole batch has drained.
+  void run(std::vector<std::function<void()>> jobs);
+
+  /// Chunked parallel loop over [0, count): `body(begin, end)` is called
+  /// on half-open sub-ranges of at most `grain` indices (grain 0 picks
+  /// roughly 4 chunks per thread). Blocks like run(); count 0 is a no-op.
+  void parallel_for(std::size_t count, std::size_t grain,
+                    const std::function<void(std::size_t begin,
+                                             std::size_t end)>& body);
+
+ private:
+  /// Completion state of one run() call, owned by the submitter's stack.
+  struct Batch {
+    std::vector<std::function<void()>> jobs;
+    std::vector<std::exception_ptr> errors;  ///< one slot per job
+    std::size_t next = 0;                    ///< next job index to hand out
+    std::size_t done = 0;
+    std::condition_variable finished;
+  };
+
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Batch*> queue_;  ///< batches with jobs still to hand out
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace phodis::exec

@@ -199,6 +199,12 @@ void SimulationTally::serialize(util::ByteWriter& writer) const {
   if (radial_) radial_->serialize(writer);
 }
 
+std::vector<std::uint8_t> SimulationTally::to_bytes() const {
+  util::ByteWriter writer;
+  serialize(writer);
+  return writer.take();
+}
+
 SimulationTally SimulationTally::deserialize(util::ByteReader& reader) {
   const TallyConfig config = TallyConfig::deserialize(reader);
 

@@ -109,6 +109,9 @@ class SimulationTally {
   void merge(const SimulationTally& other);
   void serialize(util::ByteWriter& writer) const;
   static SimulationTally deserialize(util::ByteReader& reader);
+  /// serialize() into a fresh buffer — the byte string the platform
+  /// ships and the bitwise-identity checks compare.
+  std::vector<std::uint8_t> to_bytes() const;
 
   const TallyConfig& config() const noexcept { return config_; }
 

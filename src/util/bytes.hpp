@@ -45,6 +45,9 @@ class ByteWriter {
     buf_.insert(buf_.end(), v.begin(), v.end());
   }
 
+  /// Pre-size the buffer (e.g. before serialising a large tally).
+  void reserve(std::size_t capacity) { buf_.reserve(capacity); }
+
   const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
   std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
   std::size_t size() const noexcept { return buf_.size(); }

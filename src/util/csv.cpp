@@ -1,9 +1,34 @@
 #include "util/csv.hpp"
 
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <stdexcept>
 
 namespace phodis::util {
+
+std::string default_output_dir() {
+  if (const char* env = std::getenv("PHODIS_OUT_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+#ifdef PHODIS_DEFAULT_OUT_DIR
+  return PHODIS_DEFAULT_OUT_DIR;
+#else
+  return ".";
+#endif
+}
+
+std::string output_file(const std::string& dir, const std::string& filename) {
+  std::filesystem::create_directories(dir);
+  return (std::filesystem::path(dir) / filename).string();
+}
+
+std::string output_file(const CliArgs& args, const std::string& filename) {
+  return output_file(args.get("out-dir", default_output_dir()), filename);
+}
 
 CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   if (!out_) {

@@ -45,4 +45,19 @@ class CsvWriter {
 /// no trailing zeros).
 std::string format_double(double value, int precision = 6);
 
+/// Directory bench/example artefacts (CSVs) are written into:
+/// $PHODIS_OUT_DIR when set, else the build tree's `bench_out/` (baked
+/// in at configure time), else ".". Keeps generated CSVs out of the
+/// source tree no matter where a bench is run from.
+std::string default_output_dir();
+
+/// `dir`/`filename`, creating `dir` (and parents) first.
+std::string output_file(const std::string& dir, const std::string& filename);
+
+class CliArgs;
+
+/// The one-liner for bench/example mains: resolve the output directory
+/// from --out-dir (falling back to default_output_dir()) and join.
+std::string output_file(const CliArgs& args, const std::string& filename);
+
 }  // namespace phodis::util

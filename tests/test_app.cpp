@@ -1,9 +1,10 @@
 // Tests for MonteCarloApp: the headline reproducibility property (serial
 // == distributed, bitwise, under any worker count and fault injection)
-// plus execution-option handling.
+// plus execution-option handling and the incremental result merger.
 #include <gtest/gtest.h>
 
 #include "core/app.hpp"
+#include "core/merger.hpp"
 #include "mc/presets.hpp"
 
 namespace phodis::core {
@@ -142,6 +143,77 @@ TEST(App, ReportsPlatformStatistics) {
   EXPECT_GT(summary.frames_sent, 20u);
   EXPECT_GT(summary.bytes_sent, 0u);
   EXPECT_GT(summary.wall_seconds, 0.0);
+}
+
+TEST(IncrementalTallyMerger, OutOfOrderFoldMatchesMergeResultsBitwise) {
+  const SimulationSpec spec = small_spec(3000);
+  const MonteCarloApp app(spec);
+  const auto tasks = app.build_tasks(500, 1);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> results;
+  for (const auto& task : tasks) {
+    results.emplace(task.task_id,
+                    Algorithm::execute(task.task_id, task.payload));
+  }
+
+  // Deliver in a scrambled arrival order; the reorder buffer must keep
+  // the fold in task-id order and hence bitwise equal to merge_results.
+  IncrementalTallyMerger merger(spec);
+  const std::vector<std::uint64_t> arrival = {2, 0, 1, 5, 4, 3};
+  ASSERT_EQ(arrival.size(), tasks.size());
+  for (std::uint64_t id : arrival) merger.fold(id, results.at(id));
+  EXPECT_EQ(merger.frontier(), tasks.size());
+  EXPECT_EQ(merger.buffered_count(), 0u);
+  EXPECT_EQ(merger.merged().to_bytes(),
+            app.merge_results(results).to_bytes());
+}
+
+TEST(IncrementalTallyMerger, BuffersAheadOfTheFrontier) {
+  const SimulationSpec spec = small_spec(1000);
+  const MonteCarloApp app(spec);
+  const auto tasks = app.build_tasks(500, 1);
+  ASSERT_EQ(tasks.size(), 2u);
+  IncrementalTallyMerger merger(spec);
+  merger.fold(1, Algorithm::execute(1, tasks[1].payload));
+  EXPECT_EQ(merger.frontier(), 0u);  // waiting for task 0
+  EXPECT_EQ(merger.buffered_count(), 1u);
+  merger.fold(0, Algorithm::execute(0, tasks[0].payload));
+  EXPECT_EQ(merger.frontier(), 2u);
+  EXPECT_EQ(merger.buffered_count(), 0u);
+}
+
+TEST(IncrementalTallyMerger, StateRoundTripResumesMidRun) {
+  const SimulationSpec spec = small_spec(3000);
+  const MonteCarloApp app(spec);
+  const auto tasks = app.build_tasks(500, 1);
+  std::map<std::uint64_t, std::vector<std::uint8_t>> results;
+  for (const auto& task : tasks) {
+    results.emplace(task.task_id,
+                    Algorithm::execute(task.task_id, task.payload));
+  }
+
+  IncrementalTallyMerger first(spec);
+  first.fold(0, results.at(0));
+  first.fold(3, results.at(3));  // stays buffered across the checkpoint
+
+  IncrementalTallyMerger resumed(spec);
+  resumed.restore(first.state_bytes());
+  EXPECT_EQ(resumed.frontier(), 1u);
+  EXPECT_EQ(resumed.buffered_count(), 1u);
+  resumed.fold(0, results.at(0));  // replay of a folded task: ignored
+  for (std::uint64_t id : {1u, 2u, 4u, 5u}) resumed.fold(id, results.at(id));
+
+  EXPECT_EQ(resumed.frontier(), tasks.size());
+  EXPECT_EQ(resumed.merged().to_bytes(),
+            app.merge_results(results).to_bytes());
+}
+
+TEST(IncrementalTallyMerger, RestoreRequiresFreshMerger) {
+  const SimulationSpec spec = small_spec(1000);
+  const MonteCarloApp app(spec);
+  const auto tasks = app.build_tasks(500, 1);
+  IncrementalTallyMerger merger(spec);
+  merger.fold(0, Algorithm::execute(0, tasks[0].payload));
+  EXPECT_THROW(merger.restore(merger.state_bytes()), std::logic_error);
 }
 
 TEST(App, GridsSurviveDistributionAndMerge) {

@@ -238,5 +238,63 @@ TEST(DataManagerCheckpoint, RestoreRequiresEmptyManager) {
   std::remove(path.c_str());
 }
 
+// ---------- result streaming (set_result_sink) -------------------------------
+
+TEST(DataManagerSink, ReceivesEachFirstResultExactlyOnce) {
+  DataManager dm(10.0);
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> sunk;
+  dm.set_result_sink([&sunk](std::uint64_t id, std::vector<std::uint8_t> b) {
+    sunk.emplace_back(id, std::move(b));
+  });
+  dm.add_task(0, payload_of(1));
+  dm.add_task(1, payload_of(2));
+  dm.lease_next("w0", 0.0);
+  dm.lease_next("w1", 0.0);
+  EXPECT_TRUE(dm.complete(1, "w1", 1.0, {21}));   // out of id order
+  EXPECT_FALSE(dm.complete(1, "w0", 1.5, {99}));  // duplicate: not sunk
+  EXPECT_TRUE(dm.complete(0, "w0", 2.0, {10}));
+
+  ASSERT_EQ(sunk.size(), 2u);  // completion order, exactly once each
+  EXPECT_EQ(sunk[0].first, 1u);
+  EXPECT_EQ(sunk[0].second, (std::vector<std::uint8_t>{21}));
+  EXPECT_EQ(sunk[1].first, 0u);
+  // Bytes streamed out are not retained: server memory stays bounded.
+  EXPECT_TRUE(dm.results().empty());
+  EXPECT_TRUE(dm.all_done());
+}
+
+TEST(DataManagerSink, MustBeSetBeforeAnyCompletion) {
+  DataManager dm(10.0);
+  dm.add_task(0, payload_of(1));
+  dm.lease_next("w0", 0.0);
+  dm.complete(0, "w0", 1.0, {5});
+  EXPECT_THROW(dm.set_result_sink([](std::uint64_t,
+                                     std::vector<std::uint8_t>) {}),
+               std::logic_error);
+}
+
+TEST(DataManagerCheckpoint, CarriesTheSinkStateBlob) {
+  const std::string path = ::testing::TempDir() + "phodis_dm_sink.bin";
+  const std::vector<std::uint8_t> state = {7, 7, 7, 42};
+  DataManager dm(10.0);
+  dm.add_task(0, payload_of(1));
+  dm.checkpoint_to_file(path, state);
+
+  DataManager restored(10.0);
+  EXPECT_EQ(restored.restore_from_file(path), state);
+  EXPECT_EQ(restored.pending_count(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(DataManagerCheckpoint, EmptySinkStateByDefault) {
+  const std::string path = ::testing::TempDir() + "phodis_dm_nosink.bin";
+  DataManager dm(10.0);
+  dm.add_task(0, payload_of(1));
+  dm.checkpoint_to_file(path);
+  DataManager restored(10.0);
+  EXPECT_TRUE(restored.restore_from_file(path).empty());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace phodis::dist

@@ -1,0 +1,169 @@
+// Unit tests for the exec subsystem: ThreadPool (exception propagation,
+// zero-work submit, reuse across runs, concurrent submitters) and the
+// shard planning / sub-stream derivation underneath the parallel kernel
+// runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "exec/threadpool.hpp"
+
+namespace phodis::exec {
+namespace {
+
+// ---------- ThreadPool -------------------------------------------------------
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool pool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    jobs.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.run(std::move(jobs));
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkSubmitReturnsImmediately) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.run({}));
+  EXPECT_NO_THROW(pool.parallel_for(0, 1, [](std::size_t, std::size_t) {
+    FAIL() << "body must not run for an empty range";
+  }));
+}
+
+TEST(ThreadPool, ParallelForCoversTheRangeInChunks) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), 7,
+                    [&hits](std::size_t begin, std::size_t end) {
+                      EXPECT_LE(end - begin, 7u);
+                      for (std::size_t i = begin; i < end; ++i) {
+                        hits[i].fetch_add(1);
+                      }
+                    });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForAutoGrain) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(100, 0, [&covered](std::size_t begin, std::size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPool, PropagatesTheLowestIndexedException) {
+  ThreadPool pool(4);
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 16; ++i) {
+    jobs.push_back([i] { throw std::runtime_error(std::to_string(i)); });
+  }
+  try {
+    pool.run(std::move(jobs));
+    FAIL() << "expected the batch to rethrow";
+  } catch (const std::runtime_error& error) {
+    // Every job throws; the surfaced error must not depend on which
+    // worker thread ran which job.
+    EXPECT_STREQ(error.what(), "0");
+  }
+}
+
+TEST(ThreadPool, StaysUsableAfterAnException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run({[] { throw std::logic_error("boom"); }}),
+               std::logic_error);
+  std::atomic<int> ran{0};
+  pool.run({[&ran] { ran.fetch_add(1); }, [&ran] { ran.fetch_add(1); }});
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, ReusedAcrossManyRuns) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(20, 4, [&total](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 20u);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersEachGetTheirOwnBatchBack) {
+  ThreadPool pool(4);
+  std::vector<std::thread> submitters;
+  std::vector<std::atomic<std::size_t>> sums(6);
+  for (std::size_t t = 0; t < sums.size(); ++t) {
+    submitters.emplace_back([&pool, &sums, t] {
+      for (int round = 0; round < 10; ++round) {
+        pool.parallel_for(64, 8,
+                          [&sums, t](std::size_t begin, std::size_t end) {
+                            sums[t].fetch_add(end - begin);
+                          });
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  for (const auto& sum : sums) EXPECT_EQ(sum.load(), 10u * 64u);
+}
+
+// ---------- shard planning ---------------------------------------------------
+
+TEST(ShardPlan, SplitsIntoFullShardsPlusRemainder) {
+  const auto shards = shard_plan(10'000, 4096);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0], 4096u);
+  EXPECT_EQ(shards[1], 4096u);
+  EXPECT_EQ(shards[2], 10'000u - 2u * 4096u);
+}
+
+TEST(ShardPlan, PreservesTheTotal) {
+  for (std::uint64_t photons : {1ULL, 4095ULL, 4096ULL, 4097ULL, 999'983ULL}) {
+    const auto shards = shard_plan(photons, kDefaultShardPhotons);
+    EXPECT_EQ(std::accumulate(shards.begin(), shards.end(), 0ULL), photons);
+  }
+}
+
+TEST(ShardPlan, ZeroPhotonsIsAnEmptyPlan) {
+  EXPECT_TRUE(shard_plan(0, 4096).empty());
+}
+
+TEST(ShardPlan, RejectsZeroShardSize) {
+  EXPECT_THROW(shard_plan(100, 0), std::invalid_argument);
+}
+
+TEST(ShardStreams, FirstStreamIsTheTaskStream) {
+  const auto streams = shard_streams(99, 7, 3);
+  ASSERT_EQ(streams.size(), 3u);
+  EXPECT_EQ(streams[0].state(),
+            util::Xoshiro256pp::for_task(99, 7).state());
+  // Sub-streams are distinct (jump() moved each by 2^128 draws).
+  EXPECT_NE(streams[1].state(), streams[0].state());
+  EXPECT_NE(streams[2].state(), streams[1].state());
+}
+
+TEST(ShardStreams, SuccessiveStreamsAreJumps) {
+  const auto streams = shard_streams(5, 0, 4);
+  util::Xoshiro256pp expected = util::Xoshiro256pp::for_task(5, 0);
+  for (const auto& stream : streams) {
+    EXPECT_EQ(stream.state(), expected.state());
+    expected.jump();
+  }
+}
+
+}  // namespace
+}  // namespace phodis::exec

@@ -212,6 +212,79 @@ TEST(Ga, LoadAwareMutationBeatsRandomMutationOnTable2Fleet) {
   EXPECT_LT(with_move_makespan, random_only_makespan);
 }
 
+TEST(BestMoveDescent, ImprovesARateBlindAssignment) {
+  const auto tasks = uniform_tasks(300, 1'000'000.0);
+  const auto rates = table2_rates();
+  RoundRobinScheduler rr;
+  Schedule schedule = rr.schedule(tasks, rates);
+  const double before = schedule.makespan;
+  const std::size_t moves =
+      best_move_descent(schedule.assignment, tasks, rates, 10'000);
+  EXPECT_GT(moves, 0u);
+  const double after = schedule_makespan(tasks, rates, schedule.assignment);
+  EXPECT_LT(after, before);
+}
+
+TEST(BestMoveDescent, StopsAtASingleMoveLocalOptimum) {
+  const std::vector<double> sizes = {4.0, 4.0, 4.0, 4.0};
+  const std::vector<double> rates = {1.0, 1.0};
+  std::vector<std::size_t> assignment = {0, 0, 1, 1};  // already balanced
+  EXPECT_EQ(best_move_descent(assignment, sizes, rates, 100), 0u);
+  EXPECT_EQ(assignment, (std::vector<std::size_t>{0, 0, 1, 1}));
+}
+
+TEST(BestMoveDescent, ValidatesInputs) {
+  std::vector<std::size_t> assignment = {0};
+  EXPECT_THROW(best_move_descent(assignment, {1.0, 2.0}, {1.0}, 10),
+               std::invalid_argument);
+  std::vector<std::size_t> bad_proc = {5};
+  EXPECT_THROW(best_move_descent(bad_proc, {1.0}, {1.0}, 10),
+               std::invalid_argument);
+}
+
+TEST(Ga, EliteDescentClosesTheGapToGreedyOnTable2Fleet) {
+  // The ROADMAP gap: from a random population the GA (even with the
+  // load-aware move mutation) plateaus above greedy LPT on the
+  // 150-processor fleet. Best-move descent on the elites must close the
+  // remaining distance: at worst greedy-level, typically below it.
+  const auto chunks = chunk_plan(200'000'000, 250'000);  // 800 tasks
+  const std::vector<double> sizes(chunks.begin(), chunks.end());
+  const auto rates = table2_rates();
+
+  GaScheduler::Params params;
+  params.seed_with_greedy = false;
+  params.generations = 120;
+  params.elite_descent_moves = 16;
+  const double with_descent =
+      GaScheduler(params).schedule(sizes, rates).makespan;
+
+  GaScheduler::Params no_descent = params;
+  no_descent.elite_descent_moves = 0;
+  const double without_descent =
+      GaScheduler(no_descent).schedule(sizes, rates).makespan;
+
+  const double greedy = GreedyScheduler().schedule(sizes, rates).makespan;
+  EXPECT_LT(with_descent, without_descent);
+  EXPECT_LE(with_descent, greedy * (1.0 + 1e-9));
+}
+
+TEST(Ga, DescentKeepsDeterminismAndMonotonicity) {
+  GaScheduler::Params params;
+  params.generations = 40;
+  params.seed_with_greedy = false;
+  params.elite_descent_moves = 8;
+  GaScheduler a(params);
+  GaScheduler b(params);
+  const auto tasks = uniform_tasks(60, 3.0);
+  const std::vector<double> rates = {1.0, 2.0, 4.0, 8.0};
+  EXPECT_EQ(a.schedule(tasks, rates).assignment,
+            b.schedule(tasks, rates).assignment);
+  const auto& curve = a.convergence();
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+  }
+}
+
 TEST(Ga, AssignmentUsesOnlyValidProcessors) {
   GaScheduler ga;
   const Schedule s = ga.schedule(uniform_tasks(30, 1.0), {1.0, 2.0});

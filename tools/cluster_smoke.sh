@@ -3,11 +3,14 @@
 #
 # Phase 1: phodis_server + 3 phodis_worker processes with 5% frame drops;
 #          one worker is SIGKILLed mid-run (lease expiry must recover its
-#          task). The server must report a bitwise-identical serial
-#          cross-check.
-# Phase 2: server with --checkpoint is SIGKILLed mid-run and restarted;
-#          the surviving worker reconnects and the resumed run must still
-#          match the serial tally bitwise.
+#          task). Two workers run their shards on 2 pool threads
+#          (--threads 2), which must not change a bit of the tally. The
+#          server must report a bitwise-identical serial cross-check.
+# Phase 2: server with --checkpoint and --merge-incremental (results
+#          folded into one running tally, checkpointed as merged state)
+#          is SIGKILLed mid-run and restarted; the surviving
+#          multi-threaded worker reconnects and the resumed run must
+#          still match the serial tally bitwise.
 #
 # Usage: cluster_smoke.sh PATH_TO_phodis_server PATH_TO_phodis_worker
 set -u
@@ -40,17 +43,17 @@ wait_for_socket() {
   return 1
 }
 
-echo "== Phase 1: 3 workers, 5% frame drops, one worker SIGKILLed =="
+echo "== Phase 1: 3 workers (2 multi-threaded), 5% drops, one SIGKILLed =="
 SOCK="$TMP/phase1.sock"
 "$SERVER_BIN" --listen "unix:$SOCK" --photons 120000 --chunk 4000 \
   --seed 11 --lease 1.0 --drop 0.05 >"$TMP/server1.log" 2>&1 &
 SERVER=$!
 wait_for_socket "$SOCK" || fail "phase 1 server never bound $SOCK"
 
-"$WORKER_BIN" --connect "unix:$SOCK" --name smoke-w0 \
+"$WORKER_BIN" --connect "unix:$SOCK" --name smoke-w0 --threads 2 \
   --reconnect-attempts 5 >"$TMP/w0.log" 2>&1 &
 W0=$!
-"$WORKER_BIN" --connect "unix:$SOCK" --name smoke-w1 \
+"$WORKER_BIN" --connect "unix:$SOCK" --name smoke-w1 --threads 2 \
   --reconnect-attempts 5 >"$TMP/w1.log" 2>&1 &
 W1=$!
 "$WORKER_BIN" --connect "unix:$SOCK" --name smoke-victim \
@@ -67,24 +70,37 @@ grep -q "bitwise-identical: yes" "$TMP/server1.log" ||
   fail "phase 1 tally did not match serial bitwise"
 kill "$W0" "$W1" >/dev/null 2>&1
 
-echo "== Phase 2: server SIGKILLed mid-run, restarted from checkpoint =="
+echo "== Phase 2: incremental-merge server SIGKILLed, resumed from checkpoint =="
 SOCK="$TMP/phase2.sock"
 CKPT="$TMP/phase2.ckpt"
 "$SERVER_BIN" --listen "unix:$SOCK" --photons 120000 --chunk 4000 \
-  --seed 11 --lease 1.0 --checkpoint "$CKPT" >"$TMP/server2a.log" 2>&1 &
+  --seed 11 --lease 1.0 --checkpoint "$CKPT" --merge-incremental \
+  >"$TMP/server2a.log" 2>&1 &
 SERVER=$!
 wait_for_socket "$SOCK" || fail "phase 2 server never bound $SOCK"
 
-"$WORKER_BIN" --connect "unix:$SOCK" --name smoke-w2 \
+"$WORKER_BIN" --connect "unix:$SOCK" --name smoke-w2 --threads 2 \
   --reconnect-attempts 40 >"$TMP/w2.log" 2>&1 &
 W2=$!
 
-sleep 2  # let some checkpoints land, then kill the server mid-run
-kill -9 "$SERVER" >/dev/null 2>&1
+# Kill as soon as the first checkpoint lands (not after a fixed sleep):
+# on a fast host a fixed sleep can outlive the whole run, silently
+# degenerating this phase into a fresh restart instead of a resume.
+for _ in $(seq 300); do
+  [ -f "$CKPT" ] && break
+  kill -0 "$SERVER" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER" 2>/dev/null; then
+  kill -9 "$SERVER" >/dev/null 2>&1
+else
+  echo "(note: phase 2 server finished before the kill; resume not exercised)"
+fi
 sleep 0.5
 
 "$SERVER_BIN" --listen "unix:$SOCK" --photons 120000 --chunk 4000 \
-  --seed 11 --lease 1.0 --checkpoint "$CKPT" >"$TMP/server2b.log" 2>&1 &
+  --seed 11 --lease 1.0 --checkpoint "$CKPT" --merge-incremental \
+  >"$TMP/server2b.log" 2>&1 &
 SERVER=$!
 wait "$SERVER"
 SERVER_RC=$?

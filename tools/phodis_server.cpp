@@ -8,19 +8,26 @@
 //
 //   ./phodis_server --listen unix:/tmp/phodis.sock --photons 200000
 //                   --chunk 5000 [--seed 11] [--lease 2.0] [--drop 0.05]
-//                   [--checkpoint run.ckpt] [--no-verify]
+//                   [--checkpoint run.ckpt] [--merge-incremental]
+//                   [--verify-threads N] [--no-verify]
 //
 // With --checkpoint, progress (tasks, completion bits, result bytes) is
 // persisted atomically as results arrive; a SIGKILLed server restarted
-// with the same flags resumes instead of recomputing. Exits 0 only when
-// every task completed (and, unless --no-verify, the serial cross-check
-// matched bitwise).
+// with the same flags resumes instead of recomputing. With
+// --merge-incremental, results are folded into one running tally in
+// task-id order (reorder buffer) instead of retained raw, bounding
+// server memory for huge runs; checkpoints then carry the merged tally.
+// Exits 0 only when every task completed (and, unless --no-verify, the
+// local cross-check — run on --verify-threads pool threads — matched
+// the distributed tally bitwise).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <optional>
 
 #include "core/app.hpp"
+#include "core/merger.hpp"
 #include "dist/runtime.hpp"
 #include "dist/scheduler.hpp"
 #include "mc/presets.hpp"
@@ -46,12 +53,6 @@ phodis::core::SimulationSpec make_spec(std::uint64_t photons,
   spec.photons = photons;
   spec.seed = seed;
   return spec;
-}
-
-std::vector<std::uint8_t> tally_bytes(const phodis::mc::SimulationTally& tally) {
-  phodis::util::ByteWriter writer;
-  tally.serialize(writer);
-  return writer.take();
 }
 
 /// A checkpoint is only resumable into the task plan that produced it;
@@ -93,6 +94,9 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
   const double lease_s = args.get_double("lease", 2.0);
   const std::string checkpoint_path = args.get("checkpoint", "");
+  const bool merge_incremental = args.get_flag("merge-incremental");
+  const auto verify_threads =
+      static_cast<std::size_t>(args.get_int("verify-threads", 1));
   dist::FaultSpec faults;
   faults.drop_probability = args.get_double("drop", 0.0);
   faults.seed = static_cast<std::uint64_t>(args.get_int("drop-seed", 2006));
@@ -103,6 +107,14 @@ int main(int argc, char** argv) {
     const std::vector<dist::TaskRecord> tasks = app.build_tasks(chunk, 1);
 
     dist::DataManager manager(lease_s);
+    std::optional<core::IncrementalTallyMerger> merger;
+    if (merge_incremental) {
+      merger.emplace(app.spec());
+      manager.set_result_sink(
+          [&merger](std::uint64_t task_id, std::vector<std::uint8_t> bytes) {
+            merger->fold(task_id, std::move(bytes));
+          });
+    }
     const std::string meta_path = checkpoint_path + ".meta";
     const std::string fingerprint = plan_fingerprint(photons, chunk, seed);
     if (!checkpoint_path.empty() &&
@@ -113,7 +125,23 @@ int main(int argc, char** argv) {
                   << meta_path << "); refusing to resume\n";
         return 1;
       }
-      manager.restore_from_file(checkpoint_path);
+      const std::vector<std::uint8_t> sink_state =
+          manager.restore_from_file(checkpoint_path);
+      if (merger) {
+        if (sink_state.empty() && manager.completed_count() > 0) {
+          std::cerr << "phodis_server: " << checkpoint_path
+                    << " retains raw results (written without "
+                       "--merge-incremental); refusing to resume "
+                       "incrementally\n";
+          return 1;
+        }
+        merger->restore(sink_state);
+      } else if (!sink_state.empty()) {
+        std::cerr << "phodis_server: " << checkpoint_path
+                  << " carries a merged tally; rerun with "
+                     "--merge-incremental to resume it\n";
+        return 1;
+      }
       std::cout << "phodis_server: resumed " << manager.completed_count()
                 << " completed / "
                 << manager.completed_count() + manager.pending_count()
@@ -137,16 +165,29 @@ int main(int argc, char** argv) {
     dist::ServerLoopOptions loop_options;
     loop_options.checkpoint_path = checkpoint_path;
     loop_options.checkpoint_every = 4;
+    if (merger) {
+      loop_options.checkpoint_state = [&merger] {
+        return merger->state_bytes();
+      };
+    }
     dist::run_server_loop(transport, manager, loop_options);
     const double serve_seconds = clock.seconds();
 
-    const auto results = manager.results();
-    if (results.size() != tasks.size()) {
-      std::cerr << "phodis_server: completed " << results.size() << " of "
-                << tasks.size() << " tasks\n";
+    if (manager.completed_count() != tasks.size()) {
+      std::cerr << "phodis_server: completed " << manager.completed_count()
+                << " of " << tasks.size() << " tasks\n";
       return 1;
     }
-    const mc::SimulationTally tally = app.merge_results(results);
+    mc::SimulationTally tally = [&] {
+      if (!merger) return app.merge_results(manager.results());
+      if (merger->frontier() != tasks.size()) {
+        throw std::runtime_error(
+            "phodis_server: incremental merge frontier " +
+            std::to_string(merger->frontier()) + " != " +
+            std::to_string(tasks.size()) + " tasks");
+      }
+      return merger->merged();
+    }();
     const auto stats = manager.stats();
 
     util::TextTable table({"metric", "value"});
@@ -171,8 +212,9 @@ int main(int argc, char** argv) {
       std::cout << "serial cross-check: skipped (--no-verify)\n";
       return 0;
     }
-    const mc::SimulationTally serial = app.run_serial(chunk);
-    const bool identical = tally_bytes(serial) == tally_bytes(tally);
+    // run_parallel(1) is run_serial; more threads must not change a bit.
+    const mc::SimulationTally serial = app.run_parallel(verify_threads, chunk);
+    const bool identical = serial.to_bytes() == tally.to_bytes();
     std::cout << "serial cross-check: bitwise-identical: "
               << (identical ? "yes" : "NO") << "\n";
     return identical ? 0 : 1;

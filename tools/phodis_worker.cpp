@@ -8,10 +8,13 @@
 // spinning.
 //
 //   ./phodis_worker --connect unix:/tmp/phodis.sock [--name w0]
-//                   [--drop 0.0] [--drop-seed 2006]
+//                   [--threads 1] [--drop 0.0] [--drop-seed 2006]
 //                   [--death 0.0] [--death-seed 2006]
 //                   [--reconnect-attempts 20]
 //
+// --threads N runs each task's photon shards on an N-thread pool
+// (0 = one per core) so a single worker process saturates a multi-core
+// host; the returned tallies are bitwise identical for every N.
 // --death injects the paper's client churn without a kill(1): the worker
 // abandons that assignment and rejoins under a fresh name, leaving the
 // lease to expire server-side.
@@ -32,6 +35,8 @@ int main(int argc, char** argv) {
   std::string default_name = "w";
   default_name += std::to_string(::getpid());
   const std::string name = args.get("name", default_name);
+  const auto threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
   dist::FaultSpec faults;
   faults.drop_probability = args.get_double("drop", 0.0);
   faults.seed = static_cast<std::uint64_t>(args.get_int("drop-seed", 2006));
@@ -47,8 +52,8 @@ int main(int argc, char** argv) {
     options.death_probability = args.get_double("death", 0.0);
     options.death_seed =
         static_cast<std::uint64_t>(args.get_int("death-seed", 2006));
-    const dist::WorkerLoopOutcome outcome =
-        dist::run_worker_loop(transport, core::Algorithm::execute, options);
+    const dist::WorkerLoopOutcome outcome = dist::run_worker_loop(
+        transport, core::Algorithm::executor(threads), options);
     std::cout << "phodis_worker " << outcome.final_name << ": executed "
               << outcome.tasks_executed << " tasks, died "
               << outcome.deaths << " times, "
