@@ -1,186 +1,157 @@
-// Microbenchmarks of the kernel stages (google-benchmark): the per-stage
-// costs behind the flops-per-photon parameter the cluster simulator
-// uses, plus the threaded-kernel scaling curve (photons/sec vs thread
-// count through exec::ParallelKernelRunner — compare items_per_second
-// across the Threads arguments; determinism is asserted in
-// tests/test_parallel_kernel.cpp, throughput is measured here).
-#include <benchmark/benchmark.h>
-
+// Kernel throughput benchmark — the tracked perf baseline of the compiled
+// hot path (photons/sec per preset) and the producer of BENCH_kernel.json.
+//
+// Presets:
+//  * two_layer        — grey-over-white phantom with the cylindrical
+//                       (r,z) radial tally, i.e. the standard MCML-style
+//                       output mode (R(rho) + A(r,z)). The DEFAULT,
+//                       headline preset: no real run scores nothing.
+//  * two_layer_bare   — the same phantom with scalar totals only: the
+//                       pure transport loop, no per-interaction scoring.
+//  * white_matter     — homogeneous semi-infinite white matter (Fig. 3).
+//  * head_model       — the five-layer adult head of Table 1 (Fig. 4).
+//  * two_layer_mt<N>  — with --threads N: one task's shard plan through
+//                       exec::ParallelKernelRunner on an N-thread pool.
+//
+// Usage:
+//   bench_kernel                      human-readable table
+//   bench_kernel --json               ...plus BENCH_kernel.json in cwd
+//   bench_kernel --json=path.json     ...at an explicit path
+//   bench_kernel --check BASE.json [--tolerance 0.2]
+//                                     exit 1 if any preset's best
+//                                     photons/sec fell >20% below the
+//                                     committed baseline (skips, exit 0,
+//                                     when the baseline file is absent)
+//   --photons N --reps R --quick --threads N --seed S
+//
+// Numbers are comparable only within one machine; see bench_report.hpp
+// for the fixed-work/warm-up/best-of-reps protocol that makes them stable
+// enough to threshold on a 1-core CI runner.
+#include <algorithm>
+#include <cstdio>
 #include <optional>
+#include <string>
+#include <vector>
 
-#include "core/spec.hpp"
+#include "bench_report.hpp"
 #include "exec/parallel.hpp"
 #include "exec/threadpool.hpp"
-#include "mc/fresnel.hpp"
 #include "mc/kernel.hpp"
 #include "mc/presets.hpp"
-#include "mc/scatter.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
 using namespace phodis;
 
-void BM_RngUniform(benchmark::State& state) {
-  util::Xoshiro256pp rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.uniform());
-  }
-}
-BENCHMARK(BM_RngUniform);
-
-void BM_RngNormal(benchmark::State& state) {
-  util::Xoshiro256pp rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.normal());
-  }
-}
-BENCHMARK(BM_RngNormal);
-
-void BM_HgSample(benchmark::State& state) {
-  util::Xoshiro256pp rng(3);
-  const double g = state.range(0) / 100.0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mc::sample_hg_cosine(g, rng));
-  }
-}
-BENCHMARK(BM_HgSample)->Arg(0)->Arg(75)->Arg(90);
-
-void BM_ScatterDirection(benchmark::State& state) {
-  util::Xoshiro256pp rng(4);
-  util::Vec3 dir{0.0, 0.0, 1.0};
-  for (auto _ : state) {
-    dir = mc::scatter_direction(dir, 0.9, rng);
-    benchmark::DoNotOptimize(dir);
-  }
-}
-BENCHMARK(BM_ScatterDirection);
-
-void BM_Fresnel(benchmark::State& state) {
-  double cos_i = 0.0;
-  for (auto _ : state) {
-    cos_i += 0.001;
-    if (cos_i > 1.0) cos_i = 0.001;
-    benchmark::DoNotOptimize(mc::fresnel(1.4, 1.0, cos_i));
-  }
-}
-BENCHMARK(BM_Fresnel);
-
-/// Full photon histories per second in the white-matter medium of Fig. 3.
-void BM_PhotonWhiteMatter(benchmark::State& state) {
+mc::Kernel two_layer_radial_kernel() {
   mc::KernelConfig config;
-  config.medium = mc::homogeneous_white_matter();
-  const mc::Kernel kernel(config);
-  mc::SimulationTally tally = kernel.make_tally();
-  util::Xoshiro256pp rng(5);
-  for (auto _ : state) {
-    kernel.run(1, rng, tally);
-  }
-  state.SetItemsProcessed(state.iterations());
+  config.medium = mc::two_layer_model();
+  config.tally.enable_radial = true;
+  return mc::Kernel(std::move(config));
 }
-BENCHMARK(BM_PhotonWhiteMatter);
 
-/// Full photon histories per second in the layered head model of Fig. 4.
-void BM_PhotonHeadModel(benchmark::State& state) {
+mc::Kernel bare_kernel(mc::LayeredMedium medium) {
   mc::KernelConfig config;
-  config.medium = mc::adult_head_model();
-  const mc::Kernel kernel(config);
-  mc::SimulationTally tally = kernel.make_tally();
-  util::Xoshiro256pp rng(6);
-  for (auto _ : state) {
-    kernel.run(1, rng, tally);
-  }
-  state.SetItemsProcessed(state.iterations());
+  config.medium = std::move(medium);
+  return mc::Kernel(std::move(config));
 }
-BENCHMARK(BM_PhotonHeadModel);
 
-/// Threaded full-kernel throughput in the default (white-matter) preset:
-/// one task's shard plan executed on N pool threads. items_per_second is
-/// photons/sec; the serial baseline is the Threads=1 run (which skips
-/// the pool entirely, exactly like run_serial).
-void BM_PhotonsSharded(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  constexpr std::uint64_t kPhotonsPerIteration = 16'384;
-
-  mc::KernelConfig config;
-  config.medium = mc::homogeneous_white_matter();
-  const mc::Kernel kernel(config);
+/// Threaded variant: the same fixed-work protocol as measure_preset, but
+/// each rep runs one task's shard plan on the pool.
+bench::PresetResult measure_sharded(const std::string& name,
+                                    const mc::Kernel& kernel,
+                                    std::size_t threads,
+                                    const bench::MeasureOptions& options) {
   std::optional<exec::ThreadPool> pool;
   if (threads > 1) pool.emplace(threads);
   const exec::ParallelKernelRunner runner(kernel, pool ? &*pool : nullptr,
-                                          1024);
-  std::uint64_t task_id = 0;
-  for (auto _ : state) {
-    const mc::SimulationTally tally =
-        runner.run(kPhotonsPerIteration, 5, task_id++);
-    benchmark::DoNotOptimize(tally.diffuse_reflectance());
+                                          4096);
+  (void)runner.run(options.warmup_photons, options.seed, /*task_id=*/0);
+  std::vector<double> rep_pps;
+  rep_pps.reserve(static_cast<std::size_t>(options.reps));
+  for (int rep = 0; rep < options.reps; ++rep) {
+    const util::Stopwatch timer;
+    const mc::SimulationTally tally = runner.run(
+        options.photons, options.seed, static_cast<std::uint64_t>(rep + 1));
+    const double seconds = timer.seconds();
+    (void)tally;
+    rep_pps.push_back(static_cast<double>(options.photons) / seconds);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kPhotonsPerIteration));
+  return bench::finalize_preset(name, options.photons, std::move(rep_pps));
 }
-BENCHMARK(BM_PhotonsSharded)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->UseRealTime()
-    ->Unit(benchmark::kMillisecond);
-
-void BM_GridDeposit(benchmark::State& state) {
-  mc::VoxelGrid3D grid(mc::GridSpec::cube(50, 25.0, 50.0));
-  util::Xoshiro256pp rng(7);
-  for (auto _ : state) {
-    grid.deposit({rng.uniform(-25, 25), rng.uniform(-25, 25),
-                  rng.uniform(0, 50)},
-                 1.0);
-  }
-  benchmark::DoNotOptimize(grid.total());
-}
-BENCHMARK(BM_GridDeposit);
-
-void BM_TallySerialize(benchmark::State& state) {
-  mc::TallyConfig config;
-  config.layer_count = 5;
-  config.enable_path_grid = true;
-  config.path_spec = mc::GridSpec::cube(50, 25.0, 50.0);
-  mc::SimulationTally tally(config);
-  for (auto _ : state) {
-    util::ByteWriter writer;
-    tally.serialize(writer);
-    benchmark::DoNotOptimize(writer.size());
-  }
-  state.SetBytesProcessed(
-      static_cast<std::int64_t>(state.iterations()) *
-      static_cast<std::int64_t>(50 * 50 * 50 * sizeof(double)));
-}
-BENCHMARK(BM_TallySerialize);
-
-void BM_TallyMerge(benchmark::State& state) {
-  mc::TallyConfig config;
-  config.layer_count = 5;
-  config.enable_path_grid = true;
-  config.path_spec = mc::GridSpec::cube(50, 25.0, 50.0);
-  mc::SimulationTally a(config);
-  const mc::SimulationTally b(config);
-  for (auto _ : state) {
-    a.merge(b);
-  }
-}
-BENCHMARK(BM_TallyMerge);
-
-void BM_SpecRoundTrip(benchmark::State& state) {
-  core::SimulationSpec spec;
-  spec.kernel.medium = mc::adult_head_model();
-  spec.photons = 1;
-  for (auto _ : state) {
-    util::ByteWriter writer;
-    spec.serialize(writer);
-    util::ByteReader reader(writer.bytes());
-    benchmark::DoNotOptimize(core::SimulationSpec::deserialize(reader));
-  }
-}
-BENCHMARK(BM_SpecRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+
+  bench::MeasureOptions options;
+  options.photons =
+      static_cast<std::uint64_t>(args.get_int("photons", 20'000));
+  options.reps = std::max(1, static_cast<int>(args.get_int("reps", 5)));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  if (args.get_flag("quick")) {
+    options.photons = 4'000;
+    options.reps = 3;
+    options.warmup_photons = 1'000;
+  }
+
+  bench::Report report;
+  std::printf("bench_kernel: %llu photons/rep, %d reps (best-of shown)\n",
+              static_cast<unsigned long long>(options.photons), options.reps);
+
+  const struct {
+    const char* name;
+    mc::Kernel kernel;
+  } presets[] = {
+      {"two_layer", two_layer_radial_kernel()},
+      {"two_layer_bare", bare_kernel(mc::two_layer_model())},
+      {"white_matter", bare_kernel(mc::homogeneous_white_matter())},
+      {"head_model", bare_kernel(mc::adult_head_model())},
+  };
+  for (const auto& preset : presets) {
+    report.presets.push_back(
+        bench::measure_preset(preset.name, preset.kernel, options));
+    const bench::PresetResult& r = report.presets.back();
+    std::printf("  %-18s %10.0f photons/sec (median %10.0f)\n",
+                r.name.c_str(), r.best_pps, r.median_pps);
+  }
+
+  if (const auto threads = args.get_int("threads", 0); threads > 1) {
+    const std::string name = "two_layer_mt" + std::to_string(threads);
+    report.presets.push_back(
+        measure_sharded(name, presets[0].kernel,
+                        static_cast<std::size_t>(threads), options));
+    const bench::PresetResult& r = report.presets.back();
+    std::printf("  %-18s %10.0f photons/sec (median %10.0f)\n",
+                r.name.c_str(), r.best_pps, r.median_pps);
+  }
+
+  if (args.has("json") || args.get_flag("json")) {
+    const std::string path = [&] {
+      const std::string value = args.get("json", "");
+      return (value.empty() || value == "true") ? "BENCH_kernel.json" : value;
+    }();
+    bench::write_json(report, path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (args.has("check")) {
+    const std::string baseline = args.get("check", "");
+    const double tolerance = args.get_double("tolerance", 0.20);
+    const bench::CheckResult check =
+        bench::check_against_baseline(report, baseline, tolerance);
+    for (const std::string& line : check.lines) {
+      std::printf("%s\n", line.c_str());
+    }
+    if (!check.regressions.empty()) {
+      std::printf("FAIL: %zu preset(s) regressed more than %.0f%%\n",
+                  check.regressions.size(), tolerance * 100.0);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Machine-readable kernel-benchmark reporting: fixed-work measurement,
+// JSON emission (BENCH_kernel.json), and regression checking against a
+// committed baseline. Self-contained (no google-benchmark) so the perf
+// trajectory is tracked on every machine the repo builds on.
+//
+// Measurement discipline for thresholdable numbers on noisy 1-core CI
+// runners (the satellite this file exists for):
+//  * photon counts are PINNED per preset — never time-adaptive — so every
+//    run does identical work and two JSON files are directly comparable;
+//  * a warm-up batch runs first (touches the code path, the tally
+//    allocations, and the instruction/page cache) and is discarded;
+//  * each preset runs `reps` times and reports the BEST photons/sec along
+//    with the median and every rep. Interference from co-tenants only ever
+//    *slows* a rep, so the max over reps is the stablest estimator of
+//    machine capability, and it is the number the regression check
+//    thresholds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phodis::mc {
+class Kernel;
+}
+
+namespace phodis::bench {
+
+struct PresetResult {
+  std::string name;
+  std::uint64_t photons = 0;  ///< photons per rep (pinned)
+  double best_pps = 0.0;      ///< max photons/sec over reps (thresholded)
+  double median_pps = 0.0;
+  std::vector<double> rep_pps;
+};
+
+struct Report {
+  std::vector<PresetResult> presets;
+};
+
+struct MeasureOptions {
+  std::uint64_t warmup_photons = 2'000;
+  std::uint64_t photons = 20'000;
+  int reps = 5;
+  std::uint64_t seed = 42;
+};
+
+/// Run `kernel` under the fixed-work protocol above.
+PresetResult measure_preset(const std::string& name, const mc::Kernel& kernel,
+                            const MeasureOptions& options);
+
+/// Assemble a PresetResult from raw per-rep photons/sec samples (computes
+/// best and median). Shared by measure_preset and custom measurement
+/// loops (e.g. bench_kernel's threaded shard variant) so every preset in
+/// one JSON file uses the same statistics.
+PresetResult finalize_preset(std::string name, std::uint64_t photons,
+                             std::vector<double> rep_pps);
+
+/// Serialize the report as pretty-printed JSON at `path`.
+void write_json(const Report& report, const std::string& path);
+
+/// Extract {preset name -> best_pps} from a JSON file previously written
+/// by write_json (targeted scan, not a general JSON parser). Returns an
+/// empty vector when the file is missing or contains no presets.
+std::vector<std::pair<std::string, double>> read_baseline(
+    const std::string& path);
+
+struct CheckResult {
+  bool baseline_found = false;
+  /// Presets whose best_pps fell more than `tolerance` below baseline.
+  std::vector<std::string> regressions;
+  /// Human-readable per-preset comparison lines.
+  std::vector<std::string> lines;
+};
+
+/// Compare `report` against a committed baseline JSON. A preset regresses
+/// when current best_pps < (1 - tolerance) * baseline best_pps. Presets
+/// present on only one side are reported but never fail the check.
+CheckResult check_against_baseline(const Report& report,
+                                   const std::string& baseline_path,
+                                   double tolerance);
+
+}  // namespace phodis::bench

@@ -58,11 +58,13 @@ mc::SimulationTally ParallelKernelRunner::run(std::uint64_t photons,
   // `streams`/`tallies` vectors would false-share cache lines between
   // adjacent shards and erode the very speedup this subsystem exists
   // for (copying is bitwise-neutral — the post-run stream state is
-  // never read).
+  // never read). The kernel's feature dispatch is resolved once here, so
+  // every shard enters the specialized photon loop directly.
+  const mc::Kernel::CompiledRun compiled = kernel_->compiled_run();
   const auto run_shard = [&](std::size_t s) {
     util::Xoshiro256pp rng = streams[s];
     mc::SimulationTally tally = kernel_->make_tally();
-    kernel_->run(shards[s], rng, tally);
+    compiled(shards[s], rng, tally);
     tallies[s].emplace(std::move(tally));
   };
   if (pool_ != nullptr && pool_->thread_count() > 1 && shards.size() > 1) {

@@ -1,56 +1,6 @@
 #include "mc/fresnel.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace phodis::mc {
-
-FresnelResult fresnel(double n_i, double n_t, double cos_i) noexcept {
-  FresnelResult result;
-  cos_i = std::clamp(cos_i, 0.0, 1.0);
-
-  if (n_i == n_t) {  // matched boundary: all light transmits, θt = θi
-    result.reflectance = 0.0;
-    result.cos_transmit = cos_i;
-    return result;
-  }
-
-  if (cos_i > 1.0 - 1e-12) {  // normal incidence
-    const double r = (n_i - n_t) / (n_i + n_t);
-    result.reflectance = r * r;
-    result.cos_transmit = 1.0;
-    return result;
-  }
-
-  if (cos_i < 1e-12) {  // grazing incidence
-    result.reflectance = 1.0;
-    result.cos_transmit = 0.0;
-    return result;
-  }
-
-  const double sin_i = std::sqrt(1.0 - cos_i * cos_i);
-  const double sin_t = n_i * sin_i / n_t;  // Snell's law
-  if (sin_t >= 1.0) {
-    result.total_internal = true;
-    result.reflectance = 1.0;
-    result.cos_transmit = 0.0;
-    return result;
-  }
-  const double cos_t = std::sqrt(1.0 - sin_t * sin_t);
-
-  // Unpolarised reflectance, average of s and p polarisations, written in
-  // the sum/difference-angle form used by MCML (numerically stable):
-  //   R = 1/2 [ sin^2(θi-θt)/sin^2(θi+θt) ] [ 1 + cos^2(θi+θt)/cos^2(θi-θt) ]
-  const double cos_ip = cos_i * cos_t - sin_i * sin_t;  // cos(θi+θt)
-  const double cos_im = cos_i * cos_t + sin_i * sin_t;  // cos(θi-θt)
-  const double sin_ip = sin_i * cos_t + cos_i * sin_t;  // sin(θi+θt)
-  const double sin_im = sin_i * cos_t - cos_i * sin_t;  // sin(θi-θt)
-  const double r = 0.5 * (sin_im * sin_im) * (cos_im * cos_im + cos_ip * cos_ip) /
-                   ((sin_ip * sin_ip) * (cos_im * cos_im));
-  result.reflectance = std::clamp(r, 0.0, 1.0);
-  result.cos_transmit = cos_t;
-  return result;
-}
 
 double critical_cos(double n_i, double n_t) noexcept {
   if (n_i <= n_t) return 0.0;

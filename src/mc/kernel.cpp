@@ -5,9 +5,11 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "mc/fresnel.hpp"
 #include "mc/scatter.hpp"
+#include "util/fastmath.hpp"
 
 namespace phodis::mc {
 
@@ -15,14 +17,6 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kDirEps = 1e-12;  // |dir.z| below this counts as horizontal
-
-/// Advance the packet `distance` mm through a medium of index n.
-void advance(PhotonPacket& photon, double distance, double n) noexcept {
-  photon.pos += photon.dir * distance;
-  photon.pathlength += distance;
-  photon.optical_pathlength += distance * n;
-  photon.max_depth = std::max(photon.max_depth, photon.pos.z);
-}
 
 }  // namespace
 
@@ -63,6 +57,7 @@ Kernel::Kernel(KernelConfig config)
     : config_(std::move(config)), source_(config_.source) {
   config_.tally.layer_count = config_.medium.layer_count();
   config_.validate();
+  compiled_ = CompiledMedium(config_.medium);
 }
 
 SimulationTally Kernel::make_tally() const {
@@ -71,33 +66,92 @@ SimulationTally Kernel::make_tally() const {
 
 void Kernel::run(std::uint64_t photon_count, util::Xoshiro256pp& rng,
                  SimulationTally& tally) const {
+  const SimFn fn = select_sim_fn(tally, /*trace=*/false);
   PathRecorder recorder;
   for (std::uint64_t i = 0; i < photon_count; ++i) {
-    simulate_one(rng, tally, recorder, nullptr, 0);
+    (this->*fn)(rng, tally, recorder, nullptr, 0);
   }
 }
 
 PhotonTrace Kernel::trace(util::Xoshiro256pp& rng,
                           std::size_t max_vertices) const {
   SimulationTally scratch = make_tally();
+  const SimFn fn = select_sim_fn(scratch, /*trace=*/true);
   PathRecorder recorder;
   PhotonTrace result;
-  simulate_one(rng, scratch, recorder, &result.vertices, max_vertices);
+  (this->*fn)(rng, scratch, recorder, &result, max_vertices);
   return result;
 }
 
-void Kernel::simulate_one(util::Xoshiro256pp& rng, SimulationTally& tally,
-                          PathRecorder& recorder,
-                          std::vector<util::Vec3>* trace_out,
-                          std::size_t max_vertices) const {
-  const LayeredMedium& medium = config_.medium;
+void Kernel::CompiledRun::operator()(std::uint64_t photon_count,
+                                     util::Xoshiro256pp& rng,
+                                     SimulationTally& tally) const {
+  PathRecorder recorder;
+  for (std::uint64_t i = 0; i < photon_count; ++i) {
+    (kernel_->*fn_)(rng, tally, recorder, nullptr, 0);
+  }
+}
+
+Kernel::CompiledRun Kernel::compiled_run() const noexcept {
+  return CompiledRun(this, select_sim_fn_from_config(/*trace=*/false));
+}
+
+// ---------------------------------------------------------------------------
+// The specialized photon loop.
+//
+// BITWISE-IDENTITY CONTRACT: every specialization must draw the same rng
+// sequence and evaluate the same FP expressions, in the same order, as the
+// reference single-loop kernel this replaced (pre-compiled-path history;
+// pinned by tests/test_kernel_golden.cpp). Rules applied below:
+//  * cached per-layer scalars (lz0..lg) hold the same doubles the Layer
+//    struct held — caching is a load-elimination, not a re-derivation;
+//  * s/µt and W·µa/µt keep their divisions (multiplying by a precomputed
+//    inverse rounds differently);
+//  * the boundary-distance filter and the one-compare TIR test only
+//    short-circuit work whose outcome is proven, never approximate it;
+//  * feature blocks compile away entirely (if constexpr), and the features
+//    they guard are the only consumers of the values they skip.
+// ---------------------------------------------------------------------------
+
+template <BoundaryModel BM, bool F, bool R, bool P, bool D, bool T>
+void Kernel::simulate_one_impl(util::Xoshiro256pp& rng,
+                               SimulationTally& tally, PathRecorder& recorder,
+                               PhotonTrace* trace_out,
+                               std::size_t max_vertices) const {
+  const CompiledMedium& medium = compiled_;
   PhotonPacket photon = source_.launch(rng);
   tally.count_launch();
-  recorder.clear();
+  if constexpr (P) recorder.clear();
 
-  auto note_vertex = [&](const util::Vec3& p) {
-    if (trace_out && trace_out->size() < max_vertices) {
-      trace_out->push_back(p);
+  VoxelGrid3D* fluence = nullptr;
+  RadialTally* radial = nullptr;
+  VoxelGrid3D* path_grid = nullptr;
+  if constexpr (F) fluence = tally.fluence_grid();
+  if constexpr (R) radial = tally.radial();
+  if constexpr (P) path_grid = tally.path_grid();
+  // Register-resident scoring handle for the per-interaction radial
+  // deposits (the rare exit-surface scores below go through the tally).
+  std::optional<RadialTally::Scorer> radial_scorer;
+  if constexpr (R) radial_scorer.emplace(*radial);
+
+  const auto note_vertex = [&](const util::Vec3& p) {
+    if constexpr (T) {
+      if (trace_out && trace_out->vertices.size() < max_vertices) {
+        trace_out->vertices.push_back(p);
+      }
+    } else {
+      (void)p;
+    }
+  };
+  const auto note_final_state = [&](const PhotonPacket& packet) {
+    if constexpr (T) {
+      if (trace_out) {
+        trace_out->fate = packet.fate;
+        trace_out->final_weight = packet.weight;
+        trace_out->optical_pathlength = packet.optical_pathlength;
+      }
+    } else {
+      (void)packet;
     }
   };
   note_vertex(photon.pos);
@@ -107,17 +161,17 @@ void Kernel::simulate_one(util::Xoshiro256pp& rng, SimulationTally& tally,
   // this is the normal-incidence ((n1-n2)/(n1+n2))^2; diverging sources
   // hit at an angle, so the full Fresnel expression applies and the
   // transmitted direction bends per Snell.
-  const double n_out = medium.n_above();
-  const double n_in = medium.layer(0).props.n;
-  const FresnelResult entry = fresnel(n_out, n_in, photon.dir.z);
+  const FresnelResult entry =
+      fresnel(medium.n_above(), medium.n(0), photon.dir.z);
   tally.add_specular(photon.weight * entry.reflectance);
   photon.weight *= 1.0 - entry.reflectance;
   if (entry.total_internal || photon.weight <= 0.0) {
     photon.fate = PhotonFate::kReflectedSpecular;
     tally.record_max_depth(0.0, 1.0);
+    note_final_state(photon);
     return;
   }
-  const double entry_scale = n_out / n_in;
+  const double entry_scale = medium.entry_scale();
   photon.dir.x *= entry_scale;
   photon.dir.y *= entry_scale;
   photon.dir.z = entry.cos_transmit;
@@ -126,73 +180,183 @@ void Kernel::simulate_one(util::Xoshiro256pp& rng, SimulationTally& tally,
   double s_left = 0.0;  // dimensionless step remaining across boundaries
   std::uint64_t interactions = 0;
 
+  // Aliasing-proof local copies of loop-invariant config and of the
+  // current layer's optics row (reloaded only on a layer change).
+  const std::uint64_t max_inter = config_.max_interactions;
+  const double roulette_threshold = config_.roulette.threshold;
+  std::size_t layer = photon.layer;
+  double lz0 = medium.z0(layer), lz1 = medium.z1(layer);
+  double ln = medium.n(layer), lmut = medium.mut(layer);
+  double lmua = medium.mua(layer), lg = medium.g(layer);
+
   while (photon.alive()) {
-    if (++interactions > config_.max_interactions) {
+    if (++interactions > max_inter) {
       tally.add_lost(photon.weight);
       photon.fate = PhotonFate::kMaxStepsExceeded;
       break;
     }
 
-    const Layer& layer = medium.layer(photon.layer);
-    const double mut = layer.props.mut();
+    const double mut = lmut;
     if (s_left <= 0.0) s_left = -std::log(rng.uniform_open0());
 
-    // Distance to the layer interface along the direction of travel.
     const bool downward = photon.dir.z > 0.0;
-    double d_boundary = kInf;
-    if (photon.dir.z > kDirEps) {
-      d_boundary = std::max(0.0, (layer.z1 - photon.pos.z) / photon.dir.z);
-    } else if (photon.dir.z < -kDirEps) {
-      d_boundary = std::max(0.0, (layer.z0 - photon.pos.z) / photon.dir.z);
-    }
-
+    const double z_target = downward ? lz1 : lz0;
     const double s_phys = mut > 0.0 ? s_left / mut : kInf;
 
-    if (!std::isfinite(d_boundary) && !std::isfinite(s_phys)) {
-      // Horizontal flight in a non-interacting medium: the photon can
-      // never reach an interface or interact again.
-      tally.add_lost(photon.weight);
-      photon.fate = PhotonFate::kMaxStepsExceeded;
-      break;
+    // Boundary-distance filter: |dir.z| <= 1, so the true distance to the
+    // interface, (z_target - pos.z)/dir.z, is at least the signed z-gap
+    // (dividing by a magnitude <= 1 can only move a correctly-rounded
+    // quotient further from zero, never closer). When the gap alone
+    // already exceeds s_phys, the interface is unreachable this step and
+    // the division, max() and finiteness tests are skipped entirely; any
+    // other case — including photons displaced an ulp outside their layer
+    // — falls through to the exact reference expressions.
+    const double dz = z_target - photon.pos.z;
+    bool interact = downward ? dz > s_phys : dz < -s_phys;
+    double d_boundary = kInf;
+    if (!interact) {
+      if (std::abs(photon.dir.z) > kDirEps) {
+        d_boundary = std::max(0.0, (z_target - photon.pos.z) / photon.dir.z);
+      }
+      if (!std::isfinite(d_boundary) && !std::isfinite(s_phys)) {
+        // Horizontal flight in a non-interacting medium: the photon can
+        // never reach an interface or interact again.
+        tally.add_lost(photon.weight);
+        photon.fate = PhotonFate::kMaxStepsExceeded;
+        break;
+      }
+      interact = !(d_boundary <= s_phys);
     }
 
-    if (d_boundary <= s_phys) {
-      advance(photon, d_boundary, layer.props.n);
+    if (!interact) {
+      // --- interface crossing ----------------------------------------------
+      photon.pos += photon.dir * d_boundary;
+      if constexpr (T) photon.pathlength += d_boundary;
+      if constexpr (D || T) photon.optical_pathlength += d_boundary * ln;
+      photon.max_depth = std::max(photon.max_depth, photon.pos.z);
       note_vertex(photon.pos);
       s_left -= d_boundary * mut;
       if (s_left < 0.0) s_left = 0.0;
-      if (handle_boundary(photon, downward, rng, tally, recorder)) break;
+
+      const int d = downward ? 1 : 0;
+      const double cos_i = std::abs(photon.dir.z);
+      bool left_tissue = false;
+      if (cos_i >= kFresnelGrazeEps && cos_i <= medium.tir_cos(layer, d)) {
+        // One-compare TIR: provably beyond the critical angle, reflect
+        // without evaluating Fresnel (the exact path below reaches the
+        // same reflection through fresnel()'s total_internal branch, at
+        // the cost of a sqrt; neither consumes randomness).
+        photon.dir.z = -photon.dir.z;
+      } else {
+        const FresnelResult fr =
+            fresnel(ln, medium.neighbour_n(layer, d), cos_i);
+        if (medium.exterior(layer, d)) {
+          if (fr.total_internal) {  // "if (photon angle > critical angle)"
+            photon.dir.z = -photon.dir.z;
+          } else if constexpr (BM == BoundaryModel::kClassical) {
+            // Deterministic partial transmission: (1-R)·W escapes now, R·W
+            // keeps propagating inside.
+            const double transmitted = photon.weight * (1.0 - fr.reflectance);
+            bool detected = false;
+            if (transmitted > 0.0) {
+              if (!downward) {
+                detected = finish_exit_top_impl<R, P, D>(
+                    photon, transmitted, tally, recorder, radial, path_grid);
+              } else {
+                finish_exit_bottom_impl<R>(photon, transmitted, tally,
+                                           radial);
+              }
+              photon.weight -= transmitted;
+            }
+            photon.dir.z = -photon.dir.z;
+            if (photon.weight <= 0.0) {
+              photon.fate = detected    ? PhotonFate::kDetected
+                            : !downward ? PhotonFate::kReflectedDiffuse
+                                        : PhotonFate::kTransmitted;
+              left_tissue = true;
+            }
+            // Otherwise the packet survives a detection event with its
+            // reflected fraction and may be detected again later; each
+            // partial escape has already been tallied.
+          } else {
+            // Probabilistic: the whole packet either escapes or reflects.
+            if (rng.uniform() < fr.reflectance) {
+              photon.dir.z = -photon.dir.z;
+            } else if (!downward) {
+              // "... and end": the whole packet leaves, detected or not.
+              const bool detected = finish_exit_top_impl<R, P, D>(
+                  photon, photon.weight, tally, recorder, radial, path_grid);
+              photon.fate = detected ? PhotonFate::kDetected
+                                     : PhotonFate::kReflectedDiffuse;
+              left_tissue = true;
+            } else {
+              finish_exit_bottom_impl<R>(photon, photon.weight, tally,
+                                         radial);
+              photon.fate = PhotonFate::kTransmitted;
+              left_tissue = true;
+            }
+          }
+        } else if (fr.total_internal || rng.uniform() < fr.reflectance) {
+          // Interior interface between two tissue layers. Reflection is
+          // sampled probabilistically in both boundary models (a
+          // single-packet tracker cannot fork into two continuing packets).
+          photon.dir.z = -photon.dir.z;
+        } else {
+          // Refract: Snell's law preserves the tangential direction scaled
+          // by n_i/n_t; the packet crosses into the adjacent layer.
+          const double scale = medium.n_ratio(layer, d);
+          photon.dir.x *= scale;
+          photon.dir.y *= scale;
+          photon.dir.z = downward ? fr.cos_transmit : -fr.cos_transmit;
+          photon.dir = photon.dir.normalized();
+          layer = downward ? layer + 1 : layer - 1;
+          photon.layer = layer;
+          lz0 = medium.z0(layer);
+          lz1 = medium.z1(layer);
+          ln = medium.n(layer);
+          lmut = medium.mut(layer);
+          lmua = medium.mua(layer);
+          lg = medium.g(layer);
+        }
+      }
+      if (left_tissue) break;
     } else {
-      advance(photon, s_phys, layer.props.n);
+      // --- interaction site -------------------------------------------------
+      photon.pos += photon.dir * s_phys;
+      if constexpr (T) photon.pathlength += s_phys;
+      if constexpr (D || T) photon.optical_pathlength += s_phys * ln;
+      photon.max_depth = std::max(photon.max_depth, photon.pos.z);
       note_vertex(photon.pos);
       s_left = 0.0;
 
       // "update absorption and photon weight" — deposit W·µa/µt here.
-      const double dw = photon.weight * layer.props.mua / mut;
+      const double dw = photon.weight * lmua / mut;
       photon.weight -= dw;
-      tally.add_absorption(photon.layer, dw);
-      if (VoxelGrid3D* grid = tally.fluence_grid()) {
-        grid->deposit(photon.pos, dw);
+      tally.add_absorption(layer, dw);
+      if constexpr (F) {
+        fluence->deposit(photon.pos, dw);
       }
-      if (RadialTally* radial = tally.radial()) {
-        radial->score_absorption(std::hypot(photon.pos.x, photon.pos.y),
-                                 photon.pos.z, dw);
+      if constexpr (R) {
+        radial_scorer->absorption(
+            util::fast_radius(photon.pos.x, photon.pos.y), photon.pos.z, dw);
       }
-      if (const VoxelGrid3D* grid = tally.path_grid()) {
+      if constexpr (P) {
         // Unit deposits: the path grid counts *visit frequency* (the
         // paper's "most common paths taken by the photons"), so every
         // detected path contributes uniformly along its length instead of
         // being biased toward its high-weight beginning.
-        recorder.record(*grid, photon.pos, 1.0);
+        recorder.record(*path_grid, photon.pos, 1.0);
       }
 
-      photon.dir = scatter_direction(photon.dir, layer.props.g, rng);
-      ++photon.scatter_events;
+      photon.dir = deflect(photon.dir, sample_hg_cosine(lg, rng), rng);
+      if constexpr (D) ++photon.scatter_events;
     }
 
     // "if (weight too small) survive roulette" — applies after either
-    // branch: classical boundary splitting also erodes the weight.
-    if (photon.alive() && photon.weight < config_.roulette.threshold) {
+    // branch: classical boundary splitting also erodes the weight. (Any
+    // photon reaching this point is alive: every terminal outcome above
+    // breaks out of the loop first.)
+    if (photon.weight < roulette_threshold) {
       const double before = photon.weight;
       const double after = play_roulette(before, config_.roulette, rng);
       if (after == 0.0) {
@@ -206,122 +370,106 @@ void Kernel::simulate_one(util::Xoshiro256pp& rng, SimulationTally& tally,
   }
 
   tally.record_max_depth(photon.max_depth, 1.0);
-  if (config_.record_all_paths && photon.fate != PhotonFate::kDetected) {
-    if (VoxelGrid3D* grid = tally.path_grid()) recorder.commit(*grid);
+  note_final_state(photon);
+  if constexpr (P) {
+    if (config_.record_all_paths && photon.fate != PhotonFate::kDetected) {
+      recorder.commit(*path_grid);
+    }
   }
 }
 
-bool Kernel::handle_boundary(PhotonPacket& photon, bool downward,
-                             util::Xoshiro256pp& rng, SimulationTally& tally,
-                             PathRecorder& recorder) const {
-  const LayeredMedium& medium = config_.medium;
-  const Layer& layer = medium.layer(photon.layer);
-  const double n_i = layer.props.n;
-  const double n_t = medium.neighbour_index(photon.layer, downward);
-  const double cos_i = std::abs(photon.dir.z);
-  const FresnelResult fr = fresnel(n_i, n_t, cos_i);
-
-  const bool exterior_top = !downward && photon.layer == 0;
-  const bool exterior_bottom = downward &&
-                               photon.layer + 1 == medium.layer_count() &&
-                               std::isfinite(layer.z1);
-
-  auto reflect = [&photon]() { photon.dir.z = -photon.dir.z; };
-
-  if (exterior_top || exterior_bottom) {
-    if (fr.total_internal) {  // "if (photon angle > critical angle)"
-      reflect();
-      return false;
-    }
-    if (config_.boundary_model == BoundaryModel::kClassical) {
-      // Deterministic partial transmission: (1-R)·W escapes now, R·W
-      // keeps propagating inside.
-      const double transmitted = photon.weight * (1.0 - fr.reflectance);
-      bool detected = false;
-      if (transmitted > 0.0) {
-        if (exterior_top) {
-          detected = finish_exit_top(photon, transmitted, tally, recorder);
-        } else {
-          finish_exit_bottom(photon, transmitted, tally);
-        }
-        photon.weight -= transmitted;
-      }
-      reflect();
-      if (photon.weight <= 0.0) {
-        photon.fate = detected              ? PhotonFate::kDetected
-                      : exterior_top        ? PhotonFate::kReflectedDiffuse
-                                            : PhotonFate::kTransmitted;
-        return true;
-      }
-      // In classical mode the packet survives a detection event with its
-      // reflected fraction and may be detected again later; each partial
-      // escape has already been tallied.
-      return false;
-    }
-    // Probabilistic: the whole packet either escapes or reflects.
-    if (rng.uniform() < fr.reflectance) {
-      reflect();
-      return false;
-    }
-    if (exterior_top) {
-      // "... and end": the whole packet leaves, detected or not.
-      const bool detected =
-          finish_exit_top(photon, photon.weight, tally, recorder);
-      photon.fate = detected ? PhotonFate::kDetected
-                             : PhotonFate::kReflectedDiffuse;
-    } else {
-      finish_exit_bottom(photon, photon.weight, tally);
-      photon.fate = PhotonFate::kTransmitted;
-    }
-    return true;
-  }
-
-  // Interior interface between two tissue layers. Reflection is sampled
-  // probabilistically in both boundary models (a single-packet tracker
-  // cannot fork into two continuing packets).
-  if (fr.total_internal || rng.uniform() < fr.reflectance) {
-    reflect();
-    return false;
-  }
-
-  // Refract: Snell's law preserves the tangential direction scaled by
-  // n_i/n_t; the packet crosses into the adjacent layer.
-  const double scale = n_i / n_t;
-  photon.dir.x *= scale;
-  photon.dir.y *= scale;
-  photon.dir.z = downward ? fr.cos_transmit : -fr.cos_transmit;
-  photon.dir = photon.dir.normalized();
-  photon.layer = downward ? photon.layer + 1 : photon.layer - 1;
-  return false;
-}
-
-bool Kernel::finish_exit_top(PhotonPacket& photon, double weight,
-                             SimulationTally& tally,
-                             PathRecorder& recorder) const {
+template <bool R, bool P, bool D>
+bool Kernel::finish_exit_top_impl(PhotonPacket& photon, double weight,
+                                  SimulationTally& tally,
+                                  PathRecorder& recorder, RadialTally* radial,
+                                  VoxelGrid3D* path_grid) const {
   tally.add_diffuse_reflectance(weight);
-  if (RadialTally* radial = tally.radial()) {
-    radial->score_reflectance(std::hypot(photon.pos.x, photon.pos.y),
+  if constexpr (R) {
+    radial->score_reflectance(util::fast_radius(photon.pos.x, photon.pos.y),
                               weight);
   }
-  if (!config_.detector) return false;
-  // "if (photon passed through detector) save path ..."
-  if (config_.detector->accepts(photon.pos, photon.optical_pathlength)) {
-    const double radius = std::hypot(photon.pos.x, photon.pos.y);
-    tally.record_detection(weight, photon.optical_pathlength, radius,
-                           photon.scatter_events);
-    if (VoxelGrid3D* grid = tally.path_grid()) recorder.commit(*grid);
-    return true;
+  if constexpr (D) {
+    // "if (photon passed through detector) save path ..."
+    if (config_.detector->accepts(photon.pos, photon.optical_pathlength)) {
+      const double radius = util::fast_radius(photon.pos.x, photon.pos.y);
+      tally.record_detection(weight, photon.optical_pathlength, radius,
+                             photon.scatter_events);
+      if constexpr (P) recorder.commit(*path_grid);
+      return true;
+    }
+  } else {
+    (void)recorder;
+    (void)path_grid;
   }
   return false;
 }
 
-void Kernel::finish_exit_bottom(PhotonPacket& photon, double weight,
-                                SimulationTally& tally) const {
+template <bool R>
+void Kernel::finish_exit_bottom_impl(PhotonPacket& photon, double weight,
+                                     SimulationTally& tally,
+                                     RadialTally* radial) const {
   tally.add_transmittance(weight);
-  if (RadialTally* radial = tally.radial()) {
-    radial->score_transmittance(std::hypot(photon.pos.x, photon.pos.y),
-                                weight);
+  if constexpr (R) {
+    radial->score_transmittance(
+        util::fast_radius(photon.pos.x, photon.pos.y), weight);
+  } else {
+    (void)photon;
+    (void)radial;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch table: index bits are (BM << 5) | F << 4 | R << 3 | P << 2 |
+// D << 1 | T. All 64 specializations are instantiated here, in this TU.
+// ---------------------------------------------------------------------------
+
+template <std::size_t I>
+Kernel::SimFn Kernel::sim_table_entry() noexcept {
+  constexpr BoundaryModel bm = (I & 32) != 0 ? BoundaryModel::kClassical
+                                             : BoundaryModel::kProbabilistic;
+  return &Kernel::simulate_one_impl<bm, (I & 16) != 0, (I & 8) != 0,
+                                    (I & 4) != 0, (I & 2) != 0, (I & 1) != 0>;
+}
+
+Kernel::SimFn Kernel::sim_fn_at(std::size_t index) noexcept {
+  static const std::array<SimFn, 64> table =
+      []<std::size_t... Is>(std::index_sequence<Is...>) {
+        return std::array<SimFn, 64>{sim_table_entry<Is>()...};
+      }(std::make_index_sequence<64>{});
+  return table[index];
+}
+
+namespace {
+
+/// The single source of the index-bit layout: both selectors go through
+/// here, so the tally-derived and config-derived paths cannot drift.
+std::size_t sim_index(BoundaryModel model, bool fluence, bool radial,
+                      bool path, bool detector, bool trace) noexcept {
+  std::size_t index = 0;
+  if (model == BoundaryModel::kClassical) index |= 32;
+  if (fluence) index |= 16;
+  if (radial) index |= 8;
+  if (path) index |= 4;
+  if (detector) index |= 2;
+  if (trace) index |= 1;
+  return index;
+}
+
+}  // namespace
+
+Kernel::SimFn Kernel::select_sim_fn(const SimulationTally& tally,
+                                    bool trace) const noexcept {
+  return sim_fn_at(sim_index(
+      config_.boundary_model, tally.fluence_grid() != nullptr,
+      tally.radial() != nullptr, tally.path_grid() != nullptr,
+      config_.detector.has_value(), trace));
+}
+
+Kernel::SimFn Kernel::select_sim_fn_from_config(bool trace) const noexcept {
+  return sim_fn_at(sim_index(
+      config_.boundary_model, config_.tally.enable_fluence_grid,
+      config_.tally.enable_radial, config_.tally.enable_path_grid,
+      config_.detector.has_value(), trace));
 }
 
 }  // namespace phodis::mc

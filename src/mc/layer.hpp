@@ -34,7 +34,15 @@ class LayeredMedium {
   /// Depths exactly on an interface belong to the layer below it.
   std::size_t layer_at(double z) const noexcept;
 
+  /// Bounds-checked accessor for the public API: throws std::out_of_range
+  /// on a bad index.
   const Layer& layer(std::size_t i) const { return layers_.at(i); }
+  /// Unchecked accessor for internal callers that already own the index
+  /// invariant (the kernel's medium compiler, hot-path iteration). UB on a
+  /// bad index, exactly like operator[] on the underlying vector.
+  const Layer& layer_unchecked(std::size_t i) const noexcept {
+    return layers_[i];
+  }
   std::size_t layer_count() const noexcept { return layers_.size(); }
   const std::vector<Layer>& layers() const noexcept { return layers_; }
 

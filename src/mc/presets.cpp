@@ -47,6 +47,24 @@ LayeredMedium homogeneous_white_matter(double g, double n_tissue) {
   return builder.build();
 }
 
+LayeredMedium two_layer_model(double g, double n_tissue) {
+  const auto& rows = table1_rows();
+  const Table1Row& grey = rows[3];
+  const Table1Row& white = rows[4];
+  LayeredMediumBuilder builder;
+  builder.ambient_above(kAirRefractiveIndex)
+      .ambient_below(kAirRefractiveIndex);
+  builder.add_layer(grey.tissue,
+                    OpticalProperties::from_reduced(
+                        grey.mua_per_mm, grey.mus_prime_per_mm, g, n_tissue),
+                    grey.thickness_used_mm);
+  builder.add_semi_infinite_layer(
+      white.tissue,
+      OpticalProperties::from_reduced(white.mua_per_mm,
+                                      white.mus_prime_per_mm, g, n_tissue));
+  return builder.build();
+}
+
 LayeredMedium homogeneous_slab(const OpticalProperties& props,
                                double thickness_mm, double n_ambient) {
   LayeredMediumBuilder builder;

@@ -47,6 +47,13 @@ LayeredMedium homogeneous_white_matter(double g = kTissueAnisotropy,
                                        double n_tissue =
                                            kTissueRefractiveIndex);
 
+/// Two-layer phantom: 4 mm of grey matter over semi-infinite white matter
+/// (the Table 1 rows), air above and below. The benchmark and golden-test
+/// workhorse: one refracting interior interface, one exterior interface,
+/// strongly scattering bulk.
+LayeredMedium two_layer_model(double g = kTissueAnisotropy,
+                              double n_tissue = kTissueRefractiveIndex);
+
 /// Homogeneous slab of the given properties and thickness; `n_ambient`
 /// applies both above and below (used by the MCML validation tests).
 LayeredMedium homogeneous_slab(const OpticalProperties& props,

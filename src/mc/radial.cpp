@@ -42,37 +42,6 @@ RadialTally::RadialTally(const RadialSpec& spec)
   inv_dz_ = static_cast<double>(spec_.nz) / spec_.z_max_mm;
 }
 
-std::size_t RadialTally::r_index(double r_mm) const noexcept {
-  return static_cast<std::size_t>(r_mm * inv_dr_);
-}
-
-void RadialTally::score_reflectance(double r_mm, double weight) noexcept {
-  if (r_mm >= spec_.r_max_mm || r_mm < 0.0) {
-    rd_overflow_ += weight;
-    return;
-  }
-  rd_[r_index(r_mm)] += weight;
-}
-
-void RadialTally::score_transmittance(double r_mm, double weight) noexcept {
-  if (r_mm >= spec_.r_max_mm || r_mm < 0.0) {
-    tt_overflow_ += weight;
-    return;
-  }
-  tt_[r_index(r_mm)] += weight;
-}
-
-void RadialTally::score_absorption(double r_mm, double z_mm,
-                                   double weight) noexcept {
-  if (r_mm >= spec_.r_max_mm || r_mm < 0.0 || z_mm < 0.0 ||
-      z_mm >= spec_.z_max_mm) {
-    a_overflow_ += weight;
-    return;
-  }
-  const std::size_t iz = static_cast<std::size_t>(z_mm * inv_dz_);
-  arz_[iz * spec_.nr + r_index(r_mm)] += weight;
-}
-
 double RadialTally::reflectance_weight(std::size_t ir) const {
   return rd_.at(ir);
 }

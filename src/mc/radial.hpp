@@ -35,12 +35,78 @@ class RadialTally {
  public:
   explicit RadialTally(const RadialSpec& spec);
 
+  /// Hot-loop scoring handle: the spec constants and bin-array pointers
+  /// hoisted into a small local object the compiler keeps in registers.
+  /// The member scorers below reload those fields on every call because
+  /// stores into the bin arrays may alias them; the kernel's interaction
+  /// loop scores thousands of times per photon, so it constructs one
+  /// Scorer per photon instead. Arithmetic and accumulation order are
+  /// identical to the member scorers (bitwise-neutral).
+  class Scorer {
+   public:
+    explicit Scorer(RadialTally& tally) noexcept
+        : r_max_(tally.spec_.r_max_mm),
+          z_max_(tally.spec_.z_max_mm),
+          inv_dr_(tally.inv_dr_),
+          inv_dz_(tally.inv_dz_),
+          nr_(tally.spec_.nr),
+          rd_(tally.rd_.data()),
+          tt_(tally.tt_.data()),
+          arz_(tally.arz_.data()),
+          rd_overflow_(&tally.rd_overflow_),
+          tt_overflow_(&tally.tt_overflow_),
+          a_overflow_(&tally.a_overflow_) {}
+
+    void reflectance(double r_mm, double weight) const noexcept {
+      if (r_mm >= r_max_ || r_mm < 0.0) {
+        *rd_overflow_ += weight;
+        return;
+      }
+      rd_[static_cast<std::size_t>(r_mm * inv_dr_)] += weight;
+    }
+    void transmittance(double r_mm, double weight) const noexcept {
+      if (r_mm >= r_max_ || r_mm < 0.0) {
+        *tt_overflow_ += weight;
+        return;
+      }
+      tt_[static_cast<std::size_t>(r_mm * inv_dr_)] += weight;
+    }
+    void absorption(double r_mm, double z_mm, double weight) const noexcept {
+      if (r_mm >= r_max_ || r_mm < 0.0 || z_mm < 0.0 || z_mm >= z_max_) {
+        *a_overflow_ += weight;
+        return;
+      }
+      const std::size_t iz = static_cast<std::size_t>(z_mm * inv_dz_);
+      arz_[iz * nr_ + static_cast<std::size_t>(r_mm * inv_dr_)] += weight;
+    }
+
+   private:
+    double r_max_, z_max_, inv_dr_, inv_dz_;
+    std::size_t nr_;
+    double* rd_;
+    double* tt_;
+    double* arz_;
+    double* rd_overflow_;
+    double* tt_overflow_;
+    double* a_overflow_;
+  };
+
+  // The member scorers delegate to a throwaway Scorer so the binning and
+  // overflow logic exists exactly once; for one-off calls the handle
+  // construction folds away, and hot loops build their own Scorer.
+
   /// Diffuse reflectance escaping the top surface at exit radius r.
-  void score_reflectance(double r_mm, double weight) noexcept;
+  void score_reflectance(double r_mm, double weight) noexcept {
+    Scorer(*this).reflectance(r_mm, weight);
+  }
   /// Transmittance through the bottom surface at exit radius r.
-  void score_transmittance(double r_mm, double weight) noexcept;
+  void score_transmittance(double r_mm, double weight) noexcept {
+    Scorer(*this).transmittance(r_mm, weight);
+  }
   /// Absorption deposit at (r, z).
-  void score_absorption(double r_mm, double z_mm, double weight) noexcept;
+  void score_absorption(double r_mm, double z_mm, double weight) noexcept {
+    Scorer(*this).absorption(r_mm, z_mm, weight);
+  }
 
   const RadialSpec& spec() const noexcept { return spec_; }
 
@@ -78,7 +144,6 @@ class RadialTally {
   static RadialTally deserialize(util::ByteReader& reader);
 
  private:
-  std::size_t r_index(double r_mm) const noexcept;
 
   RadialSpec spec_;
   double inv_dr_ = 0.0;

@@ -1,57 +1,11 @@
 #include "mc/scatter.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <numbers>
-
 namespace phodis::mc {
-
-double sample_hg_cosine(double g, util::Xoshiro256pp& rng) noexcept {
-  const double xi = rng.uniform();
-  if (std::abs(g) < 1e-6) {
-    return 2.0 * xi - 1.0;  // isotropic limit
-  }
-  // Inverse-CDF of the HG distribution (Wang & Jacques, MCML manual eq. 3.28).
-  const double term = (1.0 - g * g) / (1.0 - g + 2.0 * g * xi);
-  const double cos_theta = (1.0 + g * g - term * term) / (2.0 * g);
-  return std::clamp(cos_theta, -1.0, 1.0);
-}
 
 double hg_pdf(double g, double cos_theta) noexcept {
   const double g2 = g * g;
   const double denom = 1.0 + g2 - 2.0 * g * cos_theta;
   return 0.5 * (1.0 - g2) / (denom * std::sqrt(denom));
-}
-
-util::Vec3 deflect(const util::Vec3& dir, double cos_theta,
-                   util::Xoshiro256pp& rng) noexcept {
-  const double sin_theta =
-      std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
-  const double phi = 2.0 * std::numbers::pi * rng.uniform();
-  const double cos_phi = std::cos(phi);
-  const double sin_phi = std::sin(phi);
-
-  if (std::abs(dir.z) > 1.0 - 1e-10) {
-    // Travelling (anti)parallel to z: the generic update divides by
-    // sqrt(1 - dir.z^2) ~ 0, so use the axis-aligned form.
-    return {sin_theta * cos_phi, sin_theta * sin_phi,
-            cos_theta * (dir.z > 0.0 ? 1.0 : -1.0)};
-  }
-
-  const double temp = std::sqrt(1.0 - dir.z * dir.z);
-  util::Vec3 out;
-  out.x = sin_theta * (dir.x * dir.z * cos_phi - dir.y * sin_phi) / temp +
-          dir.x * cos_theta;
-  out.y = sin_theta * (dir.y * dir.z * cos_phi + dir.x * sin_phi) / temp +
-          dir.y * cos_theta;
-  out.z = -sin_theta * cos_phi * temp + dir.z * cos_theta;
-  // Renormalise to stop round-off drift accumulating over ~10^4 scatters.
-  return out.normalized();
-}
-
-util::Vec3 scatter_direction(const util::Vec3& dir, double g,
-                             util::Xoshiro256pp& rng) noexcept {
-  return deflect(dir, sample_hg_cosine(g, rng), rng);
 }
 
 }  // namespace phodis::mc

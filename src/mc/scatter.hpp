@@ -2,7 +2,16 @@
 // Henyey–Greenstein distribution whose single parameter g is the mean
 // cosine of the scattering angle — the same g the paper's Table 1 footnote
 // defines (g = -1 back-scattering, 0 isotropic, 1 forward).
+//
+// The samplers are defined inline here: they run once per photon
+// interaction (the single hottest call site in the program) and keeping
+// the definitions visible lets the compiler fold them into the kernel's
+// specialized loop without LTO.
 #pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
 
 #include "util/rng.hpp"
 #include "util/vec3.hpp"
@@ -11,7 +20,16 @@ namespace phodis::mc {
 
 /// Sample cos(θ) from the Henyey–Greenstein phase function with anisotropy
 /// g in (-1, 1). For g = 0 this reduces to isotropic sampling.
-double sample_hg_cosine(double g, util::Xoshiro256pp& rng) noexcept;
+inline double sample_hg_cosine(double g, util::Xoshiro256pp& rng) noexcept {
+  const double xi = rng.uniform();
+  if (std::abs(g) < 1e-6) {
+    return 2.0 * xi - 1.0;  // isotropic limit
+  }
+  // Inverse-CDF of the HG distribution (Wang & Jacques, MCML manual eq. 3.28).
+  const double term = (1.0 - g * g) / (1.0 - g + 2.0 * g * xi);
+  const double cos_theta = (1.0 + g * g - term * term) / (2.0 * g);
+  return std::clamp(cos_theta, -1.0, 1.0);
+}
 
 /// The Henyey–Greenstein probability density p(cosθ) — used by tests and
 /// by the analysis module, not by the kernel hot path.
@@ -20,12 +38,37 @@ double hg_pdf(double g, double cos_theta) noexcept;
 /// Rotate the unit direction `dir` by polar angle θ (given as cos θ) and a
 /// uniformly random azimuth φ, using the standard direction-cosine update
 /// (special-cased near |dir.z| = 1 where the general formula degenerates).
-util::Vec3 deflect(const util::Vec3& dir, double cos_theta,
-                   util::Xoshiro256pp& rng) noexcept;
+inline util::Vec3 deflect(const util::Vec3& dir, double cos_theta,
+                          util::Xoshiro256pp& rng) noexcept {
+  const double sin_theta =
+      std::sqrt(std::max(0.0, 1.0 - cos_theta * cos_theta));
+  const double phi = 2.0 * std::numbers::pi * rng.uniform();
+  const double cos_phi = std::cos(phi);
+  const double sin_phi = std::sin(phi);
+
+  if (std::abs(dir.z) > 1.0 - 1e-10) {
+    // Travelling (anti)parallel to z: the generic update divides by
+    // sqrt(1 - dir.z^2) ~ 0, so use the axis-aligned form.
+    return {sin_theta * cos_phi, sin_theta * sin_phi,
+            cos_theta * (dir.z > 0.0 ? 1.0 : -1.0)};
+  }
+
+  const double temp = std::sqrt(1.0 - dir.z * dir.z);
+  util::Vec3 out;
+  out.x = sin_theta * (dir.x * dir.z * cos_phi - dir.y * sin_phi) / temp +
+          dir.x * cos_theta;
+  out.y = sin_theta * (dir.y * dir.z * cos_phi + dir.x * sin_phi) / temp +
+          dir.y * cos_theta;
+  out.z = -sin_theta * cos_phi * temp + dir.z * cos_theta;
+  // Renormalise to stop round-off drift accumulating over ~10^4 scatters.
+  return out.normalized();
+}
 
 /// Full scattering step: sample HG polar angle for anisotropy g and a
 /// uniform azimuth, return the new unit direction.
-util::Vec3 scatter_direction(const util::Vec3& dir, double g,
-                             util::Xoshiro256pp& rng) noexcept;
+inline util::Vec3 scatter_direction(const util::Vec3& dir, double g,
+                                    util::Xoshiro256pp& rng) noexcept {
+  return deflect(dir, sample_hg_cosine(g, rng), rng);
+}
 
 }  // namespace phodis::mc

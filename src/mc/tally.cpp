@@ -54,10 +54,6 @@ SimulationTally::SimulationTally(const TallyConfig& config)
   }
 }
 
-void SimulationTally::add_absorption(std::size_t layer, double w) noexcept {
-  if (layer < layer_absorption_.size()) layer_absorption_[layer] += w;
-}
-
 void SimulationTally::record_detection(double weight,
                                        double optical_pathlength_mm,
                                        double exit_radius_mm,

@@ -54,7 +54,10 @@ class SimulationTally {
   void add_specular(double w) noexcept { specular_ += w; }
   void add_diffuse_reflectance(double w) noexcept { diffuse_reflectance_ += w; }
   void add_transmittance(double w) noexcept { transmittance_ += w; }
-  void add_absorption(std::size_t layer, double w) noexcept;
+  /// Inline: runs once per interaction on the kernel hot path.
+  void add_absorption(std::size_t layer, double w) noexcept {
+    if (layer < layer_absorption_.size()) layer_absorption_[layer] += w;
+  }
   void add_lost(double w) noexcept { lost_ += w; }
   void add_roulette_gain(double w) noexcept { roulette_gain_ += w; }
   void add_roulette_loss(double w) noexcept { roulette_loss_ += w; }
