@@ -1,7 +1,8 @@
 #include "net/frame.hpp"
 
-#include <cstring>
 #include <string>
+
+#include "util/bytes.hpp"
 
 namespace phodis::net {
 
@@ -11,22 +12,20 @@ bool write_frame(Socket& socket, const std::vector<std::uint8_t>& frame) {
                        std::to_string(frame.size()) +
                        " bytes exceeds kMaxFrameBytes");
   }
-  const auto length = static_cast<std::uint32_t>(frame.size());
-  std::uint8_t prefix[sizeof length];
-  std::memcpy(prefix, &length, sizeof length);  // little-endian host
+  std::uint8_t prefix[4];
+  util::store_u32_le(prefix, static_cast<std::uint32_t>(frame.size()));
   if (!socket.send_all(prefix, sizeof prefix)) return false;
   return socket.send_all(frame.data(), frame.size());
 }
 
 std::optional<std::vector<std::uint8_t>> read_frame(Socket& socket) {
-  std::uint8_t prefix[sizeof(std::uint32_t)];
+  std::uint8_t prefix[4];
   const std::size_t prefix_got = socket.recv_upto(prefix, sizeof prefix);
   if (prefix_got == 0) return std::nullopt;  // clean EOF between frames
   if (prefix_got < sizeof prefix) {
     throw FramingError("read_frame: connection died inside a length prefix");
   }
-  std::uint32_t length = 0;
-  std::memcpy(&length, prefix, sizeof length);
+  const std::uint32_t length = util::load_u32_le(prefix);
   if (length > kMaxFrameBytes) {
     throw FramingError("read_frame: declared length " +
                        std::to_string(length) + " exceeds kMaxFrameBytes");

@@ -99,6 +99,7 @@ void Server::send(const std::string& endpoint, const dist::Message& msg) {
     connection = it->second;
   }
   std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+  // phodis-lint: allow(D5) per-connection write mutex serialising frames to one peer; never held with server mutex_
   if (!write_frame(connection->socket, frame)) {
     util::log_debug() << "net::Server: send to \"" << endpoint
                       << "\" failed (peer gone)";

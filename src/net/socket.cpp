@@ -9,6 +9,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -36,6 +37,7 @@ sockaddr_un make_unix_sockaddr(const std::string& path) {
   if (path.size() >= sizeof(addr.sun_path)) {
     throw std::invalid_argument("Socket: unix path too long: " + path);
   }
+  // phodis-lint: allow(D4) sun_path is the kernel's sockaddr API, not wire bytes
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
 }
@@ -52,7 +54,13 @@ sockaddr_in resolve_tcp(const std::string& host, std::uint16_t port) {
                                 "\": " + ::gai_strerror(rc));
   }
   sockaddr_in addr{};
-  std::memcpy(&addr, result->ai_addr, sizeof addr);
+  // Copy what getaddrinfo actually produced: ai_addrlen is sizeof(sockaddr_in)
+  // for AF_INET hints, but trusting that invariant would read past a shorter
+  // record if a resolver ever returned one.
+  // phodis-lint: allow(D4) sockaddr from the resolver API, not wire bytes
+  std::memcpy(&addr, result->ai_addr,
+              std::min(static_cast<std::size_t>(result->ai_addrlen),
+                       sizeof addr));
   ::freeaddrinfo(result);
   addr.sin_port = htons(port);
   return addr;

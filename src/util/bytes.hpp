@@ -17,6 +17,24 @@
 
 namespace phodis::util {
 
+/// Explicit little-endian u32 store/load for fixed-size wire fields (the
+/// frame length prefix). Shift-based, so the encoded bytes are the wire
+/// format by construction on any host — the one sanctioned way to put a
+/// multi-byte scalar on the wire outside ByteWriter/ByteReader.
+inline void store_u32_le(std::uint8_t out[4], std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline std::uint32_t load_u32_le(const std::uint8_t in[4]) noexcept {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
 class ByteWriter {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -85,10 +103,18 @@ class ByteReader {
 
   std::vector<double> f64_vec() {
     const std::uint64_t len = u64();
-    require(len * sizeof(double));
+    // Divide instead of multiplying: a hostile len near 2^64 would wrap
+    // len * sizeof(double) around to a tiny number and pass the bounds
+    // check, then attempt a giant allocation below.
+    if (len > remaining() / sizeof(double)) {
+      throw std::out_of_range("ByteReader: truncated buffer");
+    }
     std::vector<double> v(static_cast<std::size_t>(len));
-    std::memcpy(v.data(), buf_.data() + pos_,
-                static_cast<std::size_t>(len) * sizeof(double));
+    if (len > 0) {  // empty vector: v.data() may be null, and memcpy's
+                    // pointer arguments are declared nonnull even for n=0
+      std::memcpy(v.data(), buf_.data() + pos_,
+                  static_cast<std::size_t>(len) * sizeof(double));
+    }
     pos_ += static_cast<std::size_t>(len) * sizeof(double);
     return v;
   }

@@ -1,0 +1,438 @@
+// phodis_lint rule engine, tested the only way a linter can be trusted:
+// every rule with at least one firing snippet, one clean snippet, and one
+// suppressed snippet. Snippets are embedded sources run through
+// lint_source() under a path that puts them in the rule's territory.
+#include "lint/linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lint = phodis::lint;
+
+namespace {
+
+/// Unsuppressed diagnostics for `rule` in `source` linted as `path`.
+std::vector<lint::Diagnostic> violations(const std::string& path,
+                                         const std::string& source,
+                                         const std::string& rule) {
+  std::vector<lint::Diagnostic> out;
+  for (const auto& d : lint::lint_source(path, source)) {
+    if (d.rule == rule && !d.suppressed) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<lint::Diagnostic> suppressed(const std::string& path,
+                                         const std::string& source,
+                                         const std::string& rule) {
+  std::vector<lint::Diagnostic> out;
+  for (const auto& d : lint::lint_source(path, source)) {
+    if (d.rule == rule && d.suppressed) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+TEST(Lexer, StripsLineAndBlockComments) {
+  const auto lexed = lint::lex(
+      "int a; // trailing rand( comment\n"
+      "/* block time( */ int b;\n");
+  ASSERT_GE(lexed.code.size(), 2u);
+  EXPECT_EQ(lexed.code[0], "int a; ");
+  EXPECT_EQ(lexed.comments[0], " trailing rand( comment");
+  EXPECT_EQ(lexed.code[1], " int b;");
+  EXPECT_EQ(lexed.comments[1], " block time( ");
+}
+
+TEST(Lexer, BlanksStringAndCharContents) {
+  const auto lexed = lint::lex(
+      "auto s = \"rand( inside a string\";\n"
+      "char c = 'x'; auto t = \"esc \\\" quote\";\n");
+  EXPECT_EQ(lexed.code[0], "auto s = \"\";");
+  EXPECT_EQ(lexed.code[1], "char c = ''; auto t = \"\";");
+}
+
+TEST(Lexer, MultiLineBlockCommentPreservesLineCount) {
+  const auto lexed = lint::lex("int a;\n/* one\ntwo\nthree */\nint b;\n");
+  ASSERT_EQ(lexed.code.size(), 6u);  // 5 lines + final empty flush
+  EXPECT_EQ(lexed.code[4], "int b;");
+  EXPECT_EQ(lexed.comments[2], "two");
+}
+
+TEST(Lexer, RawStringsAreBlankedAcrossLines) {
+  const auto lexed = lint::lex(
+      "auto s = R\"(rand(\nstd::random_device\n)\";  // not really\n"
+      "int after;\n");
+  // Nothing inside the raw string leaks into code lines.
+  for (const auto& line : lexed.code) {
+    EXPECT_EQ(line.find("random_device"), std::string::npos) << line;
+  }
+  EXPECT_EQ(lexed.code[3], "int after;");
+}
+
+// ---------------------------------------------------------------------------
+// D1: nondeterministic sources
+// ---------------------------------------------------------------------------
+TEST(RuleD1, FiresOnRandomDevice) {
+  const auto v = violations("src/mc/kernel.cpp",
+                            "std::random_device rd;\nauto seed = rd();\n",
+                            "D1");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 1);
+}
+
+TEST(RuleD1, FiresOnRandAndSrandAndTime) {
+  EXPECT_EQ(violations("src/core/app.cpp", "srand(42); int x = rand();\n",
+                       "D1")
+                .size(),
+            2u);
+  EXPECT_EQ(
+      violations("src/core/app.cpp", "auto t = time(nullptr);\n", "D1").size(),
+      1u);
+}
+
+TEST(RuleD1, FiresOnClockNowOutsideStopwatch) {
+  const std::string src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(violations("src/dist/runtime.cpp", src, "D1").size(), 1u);
+  // The sanctioned timing wrapper is the one allowed home.
+  EXPECT_TRUE(violations("src/util/stopwatch.hpp", src, "D1").empty());
+}
+
+TEST(RuleD1, CleanOnIdentifiersContainingThoseWords) {
+  // Word boundaries: Runtime( contains "time(", wall_time( ends in time(.
+  const auto v = violations("src/dist/runtime.cpp",
+                            "Runtime::Runtime(RuntimeConfig c) {}\n"
+                            "double wall_time();\n"
+                            "int strand(int x);\n",
+                            "D1");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RuleD1, CleanInsideStringsAndComments) {
+  const auto v = violations("src/core/app.cpp",
+                            "log(\"rand() is banned\");  // call time() never\n",
+                            "D1");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RuleD1, SuppressionSameLineAndLineAbove) {
+  const auto same = suppressed(
+      "src/core/app.cpp",
+      "auto t = time(nullptr);  // phodis-lint: allow(D1) wall clock for "
+      "log banner only\n",
+      "D1");
+  ASSERT_EQ(same.size(), 1u);
+  EXPECT_EQ(same[0].suppress_reason,
+            "wall clock for log banner only");
+
+  const auto above = suppressed(
+      "src/core/app.cpp",
+      "// phodis-lint: allow(D1) banner timestamp, never a seed\n"
+      "auto t = time(nullptr);\n",
+      "D1");
+  ASSERT_EQ(above.size(), 1u);
+  EXPECT_TRUE(
+      violations("src/core/app.cpp",
+                 "// phodis-lint: allow(D1) banner\nauto t = time(nullptr);\n",
+                 "D1")
+          .empty());
+}
+
+TEST(RuleD1, SuppressionForOtherRuleDoesNotApply) {
+  const auto v = violations(
+      "src/core/app.cpp",
+      "auto t = time(nullptr);  // phodis-lint: allow(D4) wrong rule\n", "D1");
+  EXPECT_EQ(v.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// D2: unordered-container iteration / ordered-domain ban
+// ---------------------------------------------------------------------------
+TEST(RuleD2, FiresOnRangeForOverUnorderedMap) {
+  const auto v = violations(
+      "src/analysis/render.cpp",
+      "std::unordered_map<int, double> tally;\n"
+      "for (const auto& [k, w] : tally) sum += w;\n",
+      "D2");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 2);
+}
+
+TEST(RuleD2, FiresOnBeginIteration) {
+  const auto v = violations("src/net/server.cpp",
+                            "std::unordered_set<int> ids;\n"
+                            "auto it = ids.begin();\n",
+                            "D2");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 2);
+}
+
+TEST(RuleD2, FiresOnMereDeclarationInOrderedDomain) {
+  EXPECT_EQ(violations("src/dist/datamanager.cpp",
+                       "std::unordered_map<std::uint64_t, Task> tasks_;\n",
+                       "D2")
+                .size(),
+            1u);
+  // Outside the ordered domains a non-iterated unordered container is fine.
+  EXPECT_TRUE(violations("src/util/cli.cpp",
+                         "std::unordered_map<std::string, int> flags;\n"
+                         "auto hit = flags.find(name);\n",
+                         "D2")
+                  .empty());
+}
+
+TEST(RuleD2, CleanOnOrderedContainers) {
+  const auto v = violations("src/core/merger.cpp",
+                            "std::map<int, double> tally;\n"
+                            "for (const auto& [k, w] : tally) sum += w;\n"
+                            "std::vector<double> v; for (double x : v) {}\n",
+                            "D2");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RuleD2, SuppressionCase) {
+  const auto s = suppressed(
+      "src/util/registry.cpp",
+      "std::unordered_map<std::string, int> cache;\n"
+      "// phodis-lint: allow(D2) lookup cache, keys re-sorted before emit\n"
+      "for (const auto& [k, n] : cache) keys.push_back(k);\n",
+      "D2");
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].suppress_reason, "lookup cache, keys re-sorted before emit");
+}
+
+// ---------------------------------------------------------------------------
+// D3: hot-path FP hygiene in src/mc/
+// ---------------------------------------------------------------------------
+TEST(RuleD3, FiresOnHypotFloatFnsFloatDeclsAndLiterals) {
+  EXPECT_EQ(
+      violations("src/mc/radial.cpp", "double r = std::hypot(x, y);\n", "D3")
+          .size(),
+      1u);
+  EXPECT_EQ(
+      violations("src/mc/scatter.cpp", "auto c = powf(g, 2);\n", "D3").size(),
+      1u);
+  EXPECT_EQ(
+      violations("src/mc/photon.hpp", "float weight = 1;\n", "D3").size(),
+      1u);
+  EXPECT_EQ(
+      violations("src/mc/kernel.cpp", "w *= 0.5f;\n", "D3").size(), 1u);
+  EXPECT_EQ(
+      violations("src/mc/kernel.cpp", "w *= 1e-3f;\n", "D3").size(), 1u);
+}
+
+TEST(RuleD3, OnlyAppliesInsideMc) {
+  const std::string src =
+      "float x = 0.5f;\ndouble r = std::hypot(a, b);\nauto c = sinf(t);\n";
+  EXPECT_TRUE(violations("src/analysis/banana.cpp", src, "D3").empty());
+  EXPECT_TRUE(violations("bench/bench_kernel.cpp", src, "D3").empty());
+}
+
+TEST(RuleD3, CleanOnDoubleMath) {
+  const auto v = violations(
+      "src/mc/kernel.cpp",
+      "double r = util::fast_radius(x, y);\n"
+      "double c = std::pow(g, 2.0);\n"
+      "double e = 1e-3; auto f = buf_.size();  // f as a name is fine\n",
+      "D3");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RuleD3, SuppressionCase) {
+  const auto s = suppressed(
+      "src/mc/compiled_medium.cpp",
+      "float packed = narrow(v);  // phodis-lint: allow(D3) SoA table is "
+      "intentionally float, validated vs double\n",
+      "D3");
+  ASSERT_EQ(s.size(), 1u);  // the `float` declaration, suppressed
+}
+
+// ---------------------------------------------------------------------------
+// D4: wire hygiene
+// ---------------------------------------------------------------------------
+TEST(RuleD4, FiresOnMemcpyInNetAndDistMessage) {
+  const std::string src = "std::memcpy(prefix, &length, sizeof length);\n";
+  EXPECT_EQ(violations("src/net/frame.cpp", src, "D4").size(), 1u);
+  EXPECT_EQ(violations("src/dist/message.cpp", src, "D4").size(), 1u);
+}
+
+TEST(RuleD4, FiresOnBytePunningCast) {
+  const auto v = violations(
+      "src/net/frame.cpp",
+      "auto* p = reinterpret_cast<uint8_t*>(&header);\n", "D4");
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(RuleD4, DoesNotApplyOutsideWirePaths) {
+  const std::string src = "std::memcpy(dst, src, n);\n";
+  EXPECT_TRUE(violations("src/util/bytes.hpp", src, "D4").empty());
+  EXPECT_TRUE(violations("src/mc/tally.cpp", src, "D4").empty());
+}
+
+TEST(RuleD4, SuppressionCase) {
+  const auto s = suppressed(
+      "src/net/socket.cpp",
+      "// phodis-lint: allow(D4) sockaddr for the OS API, not wire bytes\n"
+      "std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);\n",
+      "D4");
+  ASSERT_EQ(s.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// D5: concurrency hygiene
+// ---------------------------------------------------------------------------
+TEST(RuleD5, FiresOnDetachAndVolatile) {
+  EXPECT_EQ(violations("src/exec/threadpool.cpp",
+                       "std::thread(fn).detach();\n", "D5")
+                .size(),
+            1u);
+  EXPECT_EQ(
+      violations("src/net/client.cpp", "volatile bool stop = false;\n", "D5")
+          .size(),
+      1u);
+}
+
+TEST(RuleD5, FiresOnSendUnderLock) {
+  const auto v = violations(
+      "src/net/server.cpp",
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> lock(mutex_);\n"
+      "  write_frame(socket, frame);\n"
+      "}\n",
+      "D5");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 3);
+}
+
+TEST(RuleD5, CleanWhenLockScopeClosesBeforeSend) {
+  const auto v = violations(
+      "src/net/client.cpp",
+      "void f() {\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> lock(mutex_);\n"
+      "    ++frames_sent_;\n"
+      "  }\n"
+      "  write_frame(socket, frame);\n"
+      "}\n",
+      "D5");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RuleD5, CleanWhenUniqueLockUnlockedBeforeSend) {
+  const auto v = violations(
+      "src/net/client.cpp",
+      "void f() {\n"
+      "  std::unique_lock<std::mutex> lock(mutex_);\n"
+      "  auto socket = socket_;\n"
+      "  lock.unlock();\n"
+      "  write_frame(*socket, frame);\n"
+      "}\n",
+      "D5");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RuleD5, RelockingRearms) {
+  const auto v = violations(
+      "src/net/client.cpp",
+      "void f() {\n"
+      "  std::unique_lock<std::mutex> lock(mutex_);\n"
+      "  lock.unlock();\n"
+      "  lock.lock();\n"
+      "  socket.send_all(data, n);\n"
+      "}\n",
+      "D5");
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].line, 5);
+}
+
+TEST(RuleD5, SuppressionCase) {
+  const auto s = suppressed(
+      "src/net/server.cpp",
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> write_lock(connection->write_mutex);\n"
+      "  // phodis-lint: allow(D5) per-connection write mutex serialises "
+      "frames; no other lock is held\n"
+      "  if (!write_frame(connection->socket, frame)) {}\n"
+      "}\n",
+      "D5");
+  ASSERT_EQ(s.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Stats, baseline parsing, ratchet
+// ---------------------------------------------------------------------------
+TEST(Stats, CountsViolationsAndSuppressionsPerRule) {
+  lint::Stats stats;
+  const auto diags = lint::lint_source(
+      "src/mc/kernel.cpp",
+      "std::random_device rd;\n"
+      "float w = 0;  // phodis-lint: allow(D3) test\n");
+  for (const auto& d : diags) stats.add(d);
+  EXPECT_EQ(stats.violations.at("D1"), 1);
+  EXPECT_EQ(stats.suppressions.at("D3"), 1);
+  EXPECT_EQ(stats.total_violations(), 1);
+  EXPECT_EQ(stats.total_suppressions(), 1);
+}
+
+TEST(Baseline, ParsesRulesAndComments) {
+  const auto b = lint::parse_baseline(
+      "# per-rule suppression ceilings\n"
+      "D1 2\n"
+      "D4 3  # sockaddr memcpys\n"
+      "\n");
+  EXPECT_EQ(b.at("D1"), 2);
+  EXPECT_EQ(b.at("D4"), 3);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_THROW(lint::parse_baseline("D1 not-a-number\n"), std::runtime_error);
+  EXPECT_THROW(lint::parse_baseline("D1 -1\n"), std::runtime_error);
+}
+
+TEST(Baseline, RatchetFailsOnGrowthOnly) {
+  lint::Stats stats;
+  stats.suppressions["D4"] = 3;
+  stats.suppressions["D5"] = 1;
+
+  std::vector<std::string> improvements;
+  // Exactly at baseline: holds.
+  EXPECT_TRUE(lint::check_baseline(stats, {{"D4", 3}, {"D5", 1}},
+                                   &improvements)
+                  .empty());
+
+  // One above on D4: fails and names the rule.
+  const auto failures =
+      lint::check_baseline(stats, {{"D4", 2}, {"D5", 1}}, nullptr);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_NE(failures[0].find("D4"), std::string::npos);
+
+  // A rule with suppressions but no baseline entry counts as ceiling 0.
+  EXPECT_FALSE(lint::check_baseline(stats, {{"D4", 3}}, nullptr).empty());
+
+  // Below baseline: holds, but reports the pay-down opportunity.
+  improvements.clear();
+  EXPECT_TRUE(lint::check_baseline(stats, {{"D4", 5}, {"D5", 1}},
+                                   &improvements)
+                  .empty());
+  ASSERT_EQ(improvements.size(), 1u);
+  EXPECT_NE(improvements[0].find("D4"), std::string::npos);
+}
+
+TEST(Format, FileLineRuleMessageShape) {
+  lint::Diagnostic d;
+  d.file = "src/mc/kernel.cpp";
+  d.line = 42;
+  d.rule = "D3";
+  d.message = "float literal";
+  EXPECT_EQ(lint::format_diagnostic(d), "src/mc/kernel.cpp:42: D3: float "
+                                        "literal");
+  d.suppressed = true;
+  d.suppress_reason = "why";
+  EXPECT_NE(lint::format_diagnostic(d).find("[suppressed: why]"),
+            std::string::npos);
+}

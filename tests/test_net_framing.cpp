@@ -47,6 +47,23 @@ TEST(Framing, RoundTripsFramesInOrder) {
   EXPECT_FALSE(read_frame(reader).has_value());  // clean EOF at boundary
 }
 
+// The length prefix is little-endian *by definition of the protocol*, not
+// by the host's layout: pin the exact on-wire bytes so the format can
+// never silently follow the architecture.
+TEST(Framing, LengthPrefixIsLittleEndianOnTheWire) {
+  auto [writer, reader] = make_socketpair();
+  ASSERT_TRUE(write_frame(writer, pattern_bytes(0x0102)));
+  std::uint8_t prefix[4] = {};
+  ASSERT_EQ(reader.recv_upto(prefix, sizeof prefix), sizeof prefix);
+  EXPECT_EQ(prefix[0], 0x02);  // least-significant byte first
+  EXPECT_EQ(prefix[1], 0x01);
+  EXPECT_EQ(prefix[2], 0x00);
+  EXPECT_EQ(prefix[3], 0x00);
+  std::vector<std::uint8_t> body(0x0102);
+  ASSERT_EQ(reader.recv_upto(body.data(), body.size()), body.size());
+  EXPECT_EQ(body, pattern_bytes(0x0102));
+}
+
 TEST(Framing, LargeFrameRoundTripsAcrossAThread) {
   // Bigger than any socket buffer, so both sides must loop over partial
   // transfers to make progress.

@@ -124,6 +124,32 @@ TEST(Bytes, OversizedVectorLengthThrows) {
   EXPECT_THROW(r.f64_vec(), std::out_of_range);
 }
 
+// Regression: a length crafted so len * sizeof(double) wraps to a small
+// value (0x2000000000000001 * 8 == 8 mod 2^64). The old multiply-based
+// bounds check passed it, leaving a ~2^64-element allocation attempt to
+// blow up downstream; the divide-based check must reject it up front.
+TEST(Bytes, WrappingVectorLengthThrows) {
+  ByteWriter w;
+  w.u64(0x2000000000000001ULL);
+  w.f64(1.0);  // 8 real bytes, matching the wrapped product
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.f64_vec(), std::out_of_range);
+}
+
+TEST(Bytes, StoreLoadU32LittleEndianByConstruction) {
+  std::uint8_t buf[4];
+  store_u32_le(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+  EXPECT_EQ(load_u32_le(buf), 0x01020304u);
+  store_u32_le(buf, 0xFFFFFFFFu);
+  EXPECT_EQ(load_u32_le(buf), 0xFFFFFFFFu);
+  store_u32_le(buf, 0u);
+  EXPECT_EQ(load_u32_le(buf), 0u);
+}
+
 TEST(Bytes, RemainingTracksPosition) {
   ByteWriter w;
   w.u32(1);

@@ -1,0 +1,113 @@
+// phodis_lint: the project's determinism/portability rule engine.
+//
+// The whole platform rests on one contract — tallies are bitwise identical
+// across serial, threaded, and multi-process execution — and the golden-hash
+// tests only prove it *after* a violation lands. This linter enforces, per
+// source file and with no compiler dependency, the handful of statically
+// checkable rules that contract implies:
+//
+//   D1  no nondeterministic sources (std::random_device, rand, srand,
+//       time(), std::chrono::*::now()) anywhere a seed or a result could
+//       flow from them; wall-clock reads are allowed only in the sanctioned
+//       timing wrapper (util/stopwatch.hpp).
+//   D2  no iteration over std::unordered_map / std::unordered_set, and no
+//       unordered containers at all in the ordered domains (src/core/,
+//       src/dist/, src/mc/): order-dependent FP folds and protocol frames
+//       must come from ordered containers or an explicit sort.
+//   D3  hot-path FP hygiene in src/mc/: no std::hypot, no float-suffixed
+//       math calls (powf, sqrtf, ...), no float literals, no `float`
+//       declarations — everything outside util/fastmath.hpp stays double
+//       with pinned expression order.
+//   D4  wire hygiene in src/net/ and src/dist/message.*: no memcpy of
+//       structs into frames, no reinterpret_cast'ed buffer writes — all
+//       multi-byte encoding goes through util/bytes.hpp's explicit
+//       little-endian writers.
+//   D5  concurrency hygiene everywhere: no std::thread::detach(), no
+//       volatile-as-synchronisation, no mutex held across a transport
+//       send / frame write.
+//
+// A diagnostic is suppressed by a comment on the same line or the line
+// directly above:
+//
+//   // phodis-lint: allow(D4) kernel-internal memcpy of a POD tally blob
+//
+// Suppressions are counted; `phodis_lint --stats` reports them and the
+// baseline ratchet (`--baseline tools/lint_baseline.txt`) fails the build
+// if the count per rule ever grows. The lexer is deliberately small:
+// strings and comments are stripped before pattern rules run, so a rule
+// name in a log message can never trip the rule itself.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace phodis::lint {
+
+/// One finding. `rule` is "D1".."D5"; `suppressed` marks a finding covered
+/// by a phodis-lint: allow(...) comment (counted, not fatal).
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+/// A source file after lexing: per-line code with comments and
+/// string/char-literal *contents* blanked out (quotes remain, so call
+/// shapes like str("...") keep their arity), plus per-line comment text
+/// for suppression matching.
+struct LexedFile {
+  std::vector<std::string> code;      // [line] code with literals blanked
+  std::vector<std::string> comments;  // [line] concatenated comment text
+};
+
+/// Strip comments and literal contents, preserving line structure.
+/// Handles //, /*...*/ (multi-line), "..." with escapes, '...' with
+/// escapes, and raw strings R"delim(...)delim".
+LexedFile lex(const std::string& source);
+
+/// Lint one file's contents. `path` is the repo-relative path (forward
+/// slashes) and drives the path-scoped rules (D3 in src/mc/, D4 in
+/// src/net/ + src/dist/message.*, D1 timing allowlist).
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    const std::string& source);
+
+/// Per-rule tallies across a run.
+struct Stats {
+  std::map<std::string, int> violations;    // unsuppressed, fatal
+  std::map<std::string, int> suppressions;  // allow()-covered
+  int files_scanned = 0;
+
+  void add(const Diagnostic& d) {
+    (d.suppressed ? suppressions : violations)[d.rule]++;
+  }
+  int total_violations() const {
+    int n = 0;
+    for (const auto& [rule, count] : violations) n += count;
+    return n;
+  }
+  int total_suppressions() const {
+    int n = 0;
+    for (const auto& [rule, count] : suppressions) n += count;
+    return n;
+  }
+};
+
+/// Baseline ratchet: "<rule> <max-suppressions>" per line, '#' comments.
+/// Returns rule -> allowed count. Throws std::runtime_error on parse error.
+std::map<std::string, int> parse_baseline(const std::string& text);
+
+/// Compare stats against a baseline. Returns human-readable failure lines
+/// (empty == ratchet holds). A rule above its baseline fails; a rule below
+/// it is reported via `improvements` so the baseline can be paid down.
+std::vector<std::string> check_baseline(
+    const Stats& stats, const std::map<std::string, int>& baseline,
+    std::vector<std::string>* improvements);
+
+/// Format one diagnostic as "file:line: rule: message".
+std::string format_diagnostic(const Diagnostic& d);
+
+}  // namespace phodis::lint

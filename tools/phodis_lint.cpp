@@ -1,0 +1,178 @@
+// phodis_lint CLI: walk the tree, run the determinism rules, report.
+//
+//   phodis_lint --root . [--stats] [--baseline tools/lint_baseline.txt]
+//               [--list-suppressions] [paths...]
+//
+// Default paths are src tools bench (relative to --root). Output is
+// file:line: rule: message, sorted by path then line — the tool's own
+// output order is deterministic for the same reason the code it checks
+// must be. Exit 1 on any unsuppressed violation or a broken ratchet,
+// 2 on usage/IO errors.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace fs = std::filesystem;
+using phodis::lint::Diagnostic;
+using phodis::lint::Stats;
+
+namespace {
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void usage() {
+  std::cerr
+      << "usage: phodis_lint [--root DIR] [--stats] [--baseline FILE]\n"
+         "                   [--list-suppressions] [paths...]\n"
+         "  paths default to: src tools bench\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool stats_requested = false;
+  bool list_suppressions = false;
+  std::string baseline_path;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--stats") {
+      stats_requested = true;
+    } else if (arg == "--list-suppressions") {
+      list_suppressions = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "phodis_lint: unknown option " << arg << "\n";
+      usage();
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots = {"src", "tools", "bench"};
+
+  // Gather files deterministically: collect, then sort by relative path.
+  std::vector<fs::path> files;
+  try {
+    for (const std::string& r : roots) {
+      const fs::path dir = root / r;
+      if (!fs::exists(dir)) {
+        std::cerr << "phodis_lint: no such path: " << dir.string() << "\n";
+        return 2;
+      }
+      if (fs::is_regular_file(dir)) {
+        files.push_back(dir);
+        continue;
+      }
+      for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() && has_source_extension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "phodis_lint: " << error.what() << "\n";
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, fs::path>> rel_files;
+  rel_files.reserve(files.size());
+  for (const fs::path& f : files) {
+    rel_files.emplace_back(fs::relative(f, root).generic_string(), f);
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+  rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
+                  rel_files.end());
+
+  Stats stats;
+  std::vector<Diagnostic> all;
+  try {
+    for (const auto& [rel, abs] : rel_files) {
+      ++stats.files_scanned;
+      for (Diagnostic& d : phodis::lint::lint_source(rel, read_file(abs))) {
+        stats.add(d);
+        all.push_back(std::move(d));
+      }
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "phodis_lint: " << error.what() << "\n";
+    return 2;
+  }
+
+  for (const Diagnostic& d : all) {
+    if (!d.suppressed) {
+      std::cout << phodis::lint::format_diagnostic(d) << "\n";
+    } else if (list_suppressions) {
+      std::cout << phodis::lint::format_diagnostic(d) << "\n";
+    }
+  }
+
+  if (stats_requested) {
+    std::cout << "phodis_lint: scanned " << stats.files_scanned << " files, "
+              << stats.total_violations() << " violations, "
+              << stats.total_suppressions() << " suppressions\n";
+    for (const char* rule : {"D1", "D2", "D3", "D4", "D5"}) {
+      const auto v = stats.violations.find(rule);
+      const auto s = stats.suppressions.find(rule);
+      std::cout << "  " << rule << ": "
+                << (v == stats.violations.end() ? 0 : v->second)
+                << " violations, "
+                << (s == stats.suppressions.end() ? 0 : s->second)
+                << " suppressions\n";
+    }
+  }
+
+  bool ratchet_broken = false;
+  if (!baseline_path.empty()) {
+    try {
+      const auto baseline =
+          phodis::lint::parse_baseline(read_file(baseline_path));
+      std::vector<std::string> improvements;
+      const auto failures =
+          phodis::lint::check_baseline(stats, baseline, &improvements);
+      for (const std::string& f : failures) {
+        std::cout << "phodis_lint: ratchet: " << f << "\n";
+      }
+      for (const std::string& msg : improvements) {
+        std::cout << "phodis_lint: note: " << msg << "\n";
+      }
+      ratchet_broken = !failures.empty();
+    } catch (const std::exception& error) {
+      std::cerr << "phodis_lint: " << error.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (stats.total_violations() > 0) {
+    std::cout << "phodis_lint: " << stats.total_violations()
+              << " unsuppressed violation(s) — fix, or justify with "
+                 "'// phodis-lint: allow(Dn) reason'\n";
+    return 1;
+  }
+  return ratchet_broken ? 1 : 0;
+}
