@@ -11,6 +11,7 @@
 #include "core/app.hpp"
 #include "mc/presets.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
     // Cross-check: distributed result must equal serial bitwise.
     if (summary.tally.diffuse_reflectance() !=
         serial.diffuse_reflectance()) {
-      std::cerr << "determinism violation!\n";
+      util::log_error() << "bench_dist_overhead: determinism violation!";
       return 1;
     }
     table.add_row({label, util::format_double(summary.wall_seconds, 4),

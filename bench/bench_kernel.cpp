@@ -23,6 +23,9 @@
 //                                     committed baseline (skips, exit 0,
 //                                     when the baseline file is absent)
 //   --photons N --reps R --quick --threads N --seed S
+//   --metrics-json PATH               dump the obs registry (plus any
+//                                     compile-gated kernel counters)
+//   --trace PATH                      Chrome trace-event spans (Perfetto)
 //
 // Numbers are comparable only within one machine; see bench_report.hpp
 // for the fixed-work/warm-up/best-of-reps protocol that makes them stable
@@ -38,6 +41,9 @@
 #include "exec/threadpool.hpp"
 #include "mc/kernel.hpp"
 #include "mc/presets.hpp"
+#include "obs/kernel_counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -87,6 +93,9 @@ bench::PresetResult measure_sharded(const std::string& name,
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
+  const std::string metrics_path = args.get("metrics-json", "");
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable();
 
   bench::MeasureOptions options;
   options.photons =
@@ -137,6 +146,17 @@ int main(int argc, char** argv) {
     }();
     bench::write_json(report, path);
     std::printf("wrote %s\n", path.c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    obs::Snapshot snapshot = obs::registry().snapshot();
+    obs::append_kernel_counters(snapshot);
+    obs::write_metrics_json(snapshot, metrics_path);
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::global().write_json(trace_path);
+    std::printf("wrote %s\n", trace_path.c_str());
   }
 
   if (args.has("check")) {

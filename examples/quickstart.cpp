@@ -6,17 +6,25 @@
 //   4. read the answers off the merged tally.
 //
 // Build & run:  ./quickstart [--photons 50000] [--workers 4] [--threads 1]
+//               [--metrics-json PATH] [--trace PATH]
 // (--threads N shards each task over a worker-side pool — same bits,
-//  more cores)
+//  more cores; --metrics-json/--trace dump the run's observability:
+//  counters as JSON, spans as Chrome trace-event JSON for Perfetto)
 #include <iostream>
 
 #include "core/app.hpp"
 #include "mc/presets.hpp"
+#include "obs/kernel_counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
   using namespace phodis;
   const util::CliArgs args(argc, argv);
+  const std::string metrics_path = args.get("metrics-json", "");
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable();
 
   // 1. The tissue: grey matter from the paper's Table 1 (µs' = 2.2/mm,
   //    µa = 0.036/mm), anisotropy 0.9, refractive index 1.4, below air.
@@ -67,5 +75,16 @@ int main(int argc, char** argv) {
             << options.workers << "\n"
             << "energy ledger error:     "
             << tally.weight_conservation_error() << "\n";
+
+  if (!metrics_path.empty()) {
+    obs::Snapshot snapshot = obs::registry().snapshot();
+    obs::append_kernel_counters(snapshot);
+    obs::write_metrics_json(snapshot, metrics_path);
+    std::cout << "metrics report:          " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    obs::TraceRecorder::global().write_json(trace_path);
+    std::cout << "trace:                   " << trace_path << "\n";
+  }
   return 0;
 }

@@ -8,7 +8,7 @@ namespace phodis::dist {
 
 namespace {
 constexpr std::uint8_t kMaxTypeTag =
-    static_cast<std::uint8_t>(MessageType::kShutdown);
+    static_cast<std::uint8_t>(MessageType::kMetricsSnapshot);
 }  // namespace
 
 std::string to_string(MessageType type) {
@@ -23,6 +23,8 @@ std::string to_string(MessageType type) {
       return "NoWork";
     case MessageType::kShutdown:
       return "Shutdown";
+    case MessageType::kMetricsSnapshot:
+      return "MetricsSnapshot";
   }
   return "Unknown";
 }

@@ -18,11 +18,12 @@ namespace phodis::dist {
 /// Protocol message kinds, in wire order. Values are the on-wire tag byte
 /// and must never be renumbered.
 enum class MessageType : std::uint8_t {
-  kRequestWork = 0,  ///< worker -> server: idle, give me a task
-  kAssignTask = 1,   ///< server -> worker: task_id + payload to execute
-  kTaskResult = 2,   ///< worker -> server: task_id + result payload
-  kNoWork = 3,       ///< server -> worker: pool empty but run not done
-  kShutdown = 4,     ///< server -> worker: run complete, exit
+  kRequestWork = 0,      ///< worker -> server: idle, give me a task
+  kAssignTask = 1,       ///< server -> worker: task_id + payload to execute
+  kTaskResult = 2,       ///< worker -> server: task_id + result payload
+  kNoWork = 3,           ///< server -> worker: pool empty but run not done
+  kShutdown = 4,         ///< server -> worker: run complete, exit
+  kMetricsSnapshot = 5,  ///< worker -> server: encoded obs::Snapshot payload
 };
 
 std::string to_string(MessageType type);

@@ -2,15 +2,36 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <optional>
 #include <set>
 #include <stdexcept>
 #include <thread>
 
+#include "obs/kernel_counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
 namespace phodis::dist {
+
+namespace {
+
+/// One messages-by-type counter handle per wire tag, resolved up front so
+/// the receive loops increment an atomic without re-touching the registry.
+std::vector<obs::Counter*> message_counters(const std::string& name) {
+  std::vector<obs::Counter*> counters;
+  for (std::uint8_t tag = 0;
+       tag <= static_cast<std::uint8_t>(MessageType::kMetricsSnapshot);
+       ++tag) {
+    counters.push_back(&obs::registry().counter(
+        name, {{"type", to_string(static_cast<MessageType>(tag))}}));
+  }
+  return counters;
+}
+
+}  // namespace
 
 void ServerLoopOptions::validate() const {
   if (endpoint.empty()) {
@@ -23,6 +44,10 @@ void ServerLoopOptions::validate() const {
   if (!checkpoint_path.empty() && checkpoint_every == 0) {
     throw std::invalid_argument(
         "ServerLoopOptions: checkpoint_every must be > 0");
+  }
+  if (metrics_drain_ms < 0) {
+    throw std::invalid_argument(
+        "ServerLoopOptions: metrics_drain_ms must be >= 0");
   }
 }
 
@@ -44,6 +69,25 @@ void run_server_loop(Transport& transport, DataManager& manager,
                      const ServerLoopOptions& options) {
   options.validate();
   util::Stopwatch clock;
+  // Observability handles (all out-of-band of the protocol): messages by
+  // wire type, scheduling events, and per-task spans measured against the
+  // trace recorder's epoch.
+  obs::Registry& reg = obs::registry();
+  const std::vector<obs::Counter*> msg_counters =
+      message_counters("dist_server_messages_total");
+  obs::Counter& leases_issued = reg.counter("dist_server_leases_issued_total");
+  obs::Counter& releases = reg.counter("dist_server_releases_total");
+  obs::Counter& completions = reg.counter("dist_server_completions_total");
+  obs::Counter& expirations =
+      reg.counter("dist_server_lease_expirations_total");
+  obs::Counter& checkpoint_writes =
+      reg.counter("dist_server_checkpoint_writes_total");
+  obs::Counter& snapshots_received =
+      reg.counter("dist_server_metrics_snapshots_total");
+  std::set<std::uint64_t> ever_leased;
+  std::map<std::uint64_t, double> task_trace_start_s;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+
   // Every name that ever asked for work, so the final Shutdown reaches
   // even workers that only joined for one pull.
   std::set<std::string> seen_workers;
@@ -53,12 +97,19 @@ void run_server_loop(Transport& transport, DataManager& manager,
         options.checkpoint_path,
         options.checkpoint_state ? options.checkpoint_state()
                                  : std::vector<std::uint8_t>{});
+    checkpoint_writes.inc();
+  };
+  const auto handle_snapshot = [&](const Message& msg) {
+    snapshots_received.inc();
+    if (options.metrics_snapshot_sink) {
+      options.metrics_snapshot_sink(msg.sender, msg.payload);
+    }
   };
 
   while (!manager.all_done()) {
     auto msg = transport.receive(options.endpoint, options.poll_timeout_ms);
     const double now = clock.seconds();
-    manager.expire_leases(now);
+    expirations.inc(manager.expire_leases(now));
     if (!msg) {
       if (transport.closed()) {
         throw std::runtime_error(
@@ -66,6 +117,7 @@ void run_server_loop(Transport& transport, DataManager& manager,
       }
       continue;
     }
+    msg_counters[static_cast<std::uint8_t>(msg->type)]->inc();
     if (msg->type == MessageType::kRequestWork) {
       seen_workers.insert(msg->sender);
       Message reply;
@@ -74,20 +126,48 @@ void run_server_loop(Transport& transport, DataManager& manager,
         reply.type = MessageType::kAssignTask;
         reply.task_id = task->task_id;
         reply.payload = std::move(task->payload);
+        leases_issued.inc();
+        if (!ever_leased.insert(task->task_id).second) releases.inc();
+        if (recorder.enabled()) {
+          task_trace_start_s[task->task_id] = recorder.elapsed_s();
+        }
       } else {
         reply.type = manager.all_done() ? MessageType::kShutdown
                                         : MessageType::kNoWork;
       }
       transport.send(msg->sender, reply);
     } else if (msg->type == MessageType::kTaskResult) {
-      if (manager.complete(msg->task_id, msg->sender, now,
-                           std::move(msg->payload))) {
+      const std::uint64_t task_id = msg->task_id;
+      const std::string sender = msg->sender;
+      if (manager.complete(task_id, sender, now, std::move(msg->payload))) {
+        completions.inc();
+        if (recorder.enabled()) {
+          // Server-side span of the task's last lease: from the assign
+          // that won to the first accepted result.
+          const auto it = task_trace_start_s.find(task_id);
+          if (it != task_trace_start_s.end()) {
+            obs::TraceEvent event;
+            event.name = "task";
+            event.category = "dist";
+            event.ts_us = static_cast<std::uint64_t>(it->second * 1e6);
+            const double dur_s = recorder.elapsed_s() - it->second;
+            event.dur_us =
+                dur_s > 0.0 ? static_cast<std::uint64_t>(dur_s * 1e6) : 0;
+            event.tid = obs::TraceRecorder::thread_id();
+            event.args.emplace_back("task_id", std::to_string(task_id));
+            event.args.emplace_back("worker", sender);
+            recorder.record(std::move(event));
+          }
+        }
+        task_trace_start_s.erase(task_id);
         if (!options.checkpoint_path.empty() &&
             ++completions_since_checkpoint >= options.checkpoint_every) {
           write_checkpoint();
           completions_since_checkpoint = 0;
         }
       }
+    } else if (msg->type == MessageType::kMetricsSnapshot) {
+      handle_snapshot(*msg);
     }
   }
 
@@ -104,6 +184,30 @@ void run_server_loop(Transport& transport, DataManager& manager,
     shutdown_msg.sender = options.endpoint;
     transport.send(worker, shutdown_msg);
   }
+
+  // Post-shutdown drain: workers that opted into send_metrics_snapshot
+  // ship their registry on Shutdown receipt; give those frames a bounded
+  // window to land. Late RequestWork frames (a reconnecting worker that
+  // missed the broadcast) still get a Shutdown so they can exit.
+  if (options.metrics_drain_ms > 0) {
+    util::Stopwatch drain_clock;
+    while (drain_clock.milliseconds() < options.metrics_drain_ms) {
+      auto msg = transport.receive(options.endpoint, options.poll_timeout_ms);
+      if (!msg) {
+        if (transport.closed()) break;
+        continue;
+      }
+      msg_counters[static_cast<std::uint8_t>(msg->type)]->inc();
+      if (msg->type == MessageType::kMetricsSnapshot) {
+        handle_snapshot(*msg);
+      } else if (msg->type == MessageType::kRequestWork) {
+        Message reply;
+        reply.type = MessageType::kShutdown;
+        reply.sender = options.endpoint;
+        transport.send(msg->sender, reply);
+      }
+    }
+  }
 }
 
 WorkerLoopOutcome run_worker_loop(Transport& transport,
@@ -114,6 +218,13 @@ WorkerLoopOutcome run_worker_loop(Transport& transport,
   WorkerLoopOutcome outcome;
   std::string name = options.name;
   std::size_t incarnation = 0;
+
+  obs::Registry& reg = obs::registry();
+  obs::Counter& tasks_executed = reg.counter("dist_worker_tasks_total");
+  obs::Counter& deaths = reg.counter("dist_worker_deaths_total");
+  obs::Counter& no_work = reg.counter("dist_worker_no_work_total");
+  obs::Counter& reply_timeouts =
+      reg.counter("dist_worker_reply_timeouts_total");
 
   const auto alive = [&] {
     return !transport.closed() &&
@@ -126,7 +237,10 @@ WorkerLoopOutcome run_worker_loop(Transport& transport,
     request.sender = name;
     transport.send(options.server_endpoint, request);
     const auto reply = transport.receive(name, options.reply_timeout_ms);
-    if (!reply) continue;  // lost frame, timeout, or transport shutdown
+    if (!reply) {
+      reply_timeouts.inc();
+      continue;  // lost frame, timeout, or transport shutdown
+    }
     switch (reply->type) {
       case MessageType::kAssignTask: {
         if (options.death_probability > 0.0 &&
@@ -135,6 +249,7 @@ WorkerLoopOutcome run_worker_loop(Transport& transport,
           // server-side. A replacement joins under a fresh name (frames
           // still in flight to the dead name are orphaned on purpose).
           ++outcome.deaths;
+          deaths.inc();
           ++incarnation;
           name = options.name + "#" + std::to_string(incarnation);
           break;
@@ -143,18 +258,36 @@ WorkerLoopOutcome run_worker_loop(Transport& transport,
         result.type = MessageType::kTaskResult;
         result.task_id = reply->task_id;
         result.sender = name;
-        result.payload = executor(reply->task_id, reply->payload);
+        {
+          obs::ScopedSpan span("task_execute", "dist");
+          span.arg("task_id", std::to_string(reply->task_id));
+          span.arg("worker", name);
+          result.payload = executor(reply->task_id, reply->payload);
+        }
         transport.send(options.server_endpoint, result);
         ++outcome.tasks_executed;
+        tasks_executed.inc();
         break;
       }
       case MessageType::kNoWork:
+        no_work.inc();
         std::this_thread::sleep_for(
             std::chrono::milliseconds(options.no_work_backoff_ms));
         break;
       case MessageType::kShutdown:
         outcome.saw_shutdown = true;
         outcome.final_name = name;
+        if (options.send_metrics_snapshot) {
+          // Ship the whole process registry (plus compile-gated kernel
+          // counters); the server folds it into the cluster-wide report.
+          obs::Snapshot snapshot = obs::registry().snapshot();
+          obs::append_kernel_counters(snapshot);
+          Message metrics_msg;
+          metrics_msg.type = MessageType::kMetricsSnapshot;
+          metrics_msg.sender = name;
+          metrics_msg.payload = snapshot.encode();
+          transport.send(options.server_endpoint, metrics_msg);
+        }
         return outcome;
       default:
         break;  // protocol noise; ignore

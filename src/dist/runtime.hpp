@@ -47,6 +47,18 @@ struct ServerLoopOptions {
   /// before the checkpoint is written.
   std::function<std::vector<std::uint8_t>()> checkpoint_state;
 
+  /// Called once per MetricsSnapshot frame with the sender name and the
+  /// raw payload (an encoded obs::Snapshot); empty = frames counted but
+  /// otherwise ignored. Runs on the server-loop thread.
+  std::function<void(const std::string& sender,
+                     const std::vector<std::uint8_t>& payload)>
+      metrics_snapshot_sink;
+  /// After the Shutdown broadcast, keep receiving for this long so the
+  /// workers' final MetricsSnapshot frames (sent on Shutdown receipt) can
+  /// land. 0 = no drain. Best-effort by design: a killed worker or a
+  /// dropped frame just means one fewer snapshot in the merged report.
+  std::int64_t metrics_drain_ms = 0;
+
   void validate() const;
 };
 
@@ -76,6 +88,12 @@ struct WorkerLoopOptions {
   /// Extra liveness check polled each iteration (in-process pools use it
   /// to stop workers whose Shutdown frame was lost); empty = always on.
   std::function<bool()> keep_running;
+  /// On Shutdown receipt, encode the process-global obs registry (plus
+  /// kernel counters) and send it to the server as a MetricsSnapshot
+  /// before returning. Off by default: in-process pools share one
+  /// registry with the server, so only separate worker processes
+  /// (phodis_worker) should ship theirs.
+  bool send_metrics_snapshot = false;
 
   void validate() const;
 };

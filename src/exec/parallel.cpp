@@ -3,7 +3,11 @@
 #include <functional>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace phodis::exec {
 
@@ -61,11 +65,22 @@ mc::SimulationTally ParallelKernelRunner::run(std::uint64_t photons,
   // never read). The kernel's feature dispatch is resolved once here, so
   // every shard enters the specialized photon loop directly.
   const mc::Kernel::CompiledRun compiled = kernel_->compiled_run();
+  obs::Counter& shards_total = obs::registry().counter("exec_shards_total");
+  obs::Counter& shard_photons =
+      obs::registry().counter("exec_shard_photons_total");
   const auto run_shard = [&](std::size_t s) {
+    // The span and counters are out-of-band: the shard's RNG/tally work
+    // is identical whether tracing is on or off.
+    obs::ScopedSpan span("shard", "exec");
+    span.arg("task_id", std::to_string(task_id));
+    span.arg("shard", std::to_string(s));
+    span.arg("photons", std::to_string(shards[s]));
     util::Xoshiro256pp rng = streams[s];
     mc::SimulationTally tally = kernel_->make_tally();
     compiled(shards[s], rng, tally);
     tallies[s].emplace(std::move(tally));
+    shards_total.inc();
+    shard_photons.inc(shards[s]);
   };
   if (pool_ != nullptr && pool_->thread_count() > 1 && shards.size() > 1) {
     std::vector<std::function<void()>> jobs;
@@ -82,6 +97,9 @@ mc::SimulationTally ParallelKernelRunner::run(std::uint64_t photons,
 
   // The deterministic reduction: always in shard order, so the result
   // does not depend on which thread finished first.
+  obs::ScopedSpan merge_span("shard_merge", "exec");
+  merge_span.arg("task_id", std::to_string(task_id));
+  merge_span.arg("shards", std::to_string(shards.size()));
   mc::SimulationTally merged = kernel_->make_tally();
   for (const std::optional<mc::SimulationTally>& tally : tallies) {
     merged.merge(*tally);

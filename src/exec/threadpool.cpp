@@ -5,7 +5,14 @@
 
 namespace phodis::exec {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : jobs_total_(obs::registry().counter("exec_pool_jobs_total")),
+      batches_total_(obs::registry().counter("exec_pool_batches_total")),
+      queue_depth_(obs::registry().gauge("exec_pool_queue_depth")),
+      wait_seconds_(obs::registry().histogram(
+          "exec_pool_job_wait_seconds", obs::Histogram::latency_bounds_s())),
+      run_seconds_(obs::registry().histogram(
+          "exec_pool_job_run_seconds", obs::Histogram::latency_bounds_s())) {
   if (threads == 0) {
     throw std::invalid_argument("ThreadPool: need >= 1 thread");
   }
@@ -37,14 +44,20 @@ void ThreadPool::worker_loop() {
     Batch* batch = queue_.front();
     const std::size_t index = batch->next++;
     if (batch->next == batch->jobs.size()) queue_.pop_front();
+    --queued_jobs_;
+    queue_depth_.set(static_cast<double>(queued_jobs_));
 
     lock.unlock();
+    const double picked_s = epoch_.seconds();
+    wait_seconds_.observe(picked_s - batch->submit_s);
     std::exception_ptr error;
     try {
       batch->jobs[index]();
     } catch (...) {
       error = std::current_exception();
     }
+    run_seconds_.observe(epoch_.seconds() - picked_s);
+    jobs_total_.inc();
     lock.lock();
 
     // `batch` outlives this access: the submitter's stack frame holds it
@@ -61,9 +74,13 @@ void ThreadPool::run(std::vector<std::function<void()>> jobs) {
   Batch batch;
   batch.jobs = std::move(jobs);
   batch.errors.resize(batch.jobs.size());
+  batch.submit_s = epoch_.seconds();
+  batches_total_.inc();
 
   std::unique_lock<std::mutex> lock(mutex_);
   queue_.push_back(&batch);
+  queued_jobs_ += batch.jobs.size();
+  queue_depth_.set(static_cast<double>(queued_jobs_));
   if (batch.jobs.size() >= workers_.size()) {
     wake_.notify_all();
   } else {

@@ -18,6 +18,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
 namespace phodis::exec {
 
 /// Fixed-size pool of worker threads draining one FIFO job queue.
@@ -70,6 +73,7 @@ class ThreadPool {
     std::size_t next = 0;                    ///< next job index to hand out
     std::size_t done = 0;
     std::condition_variable finished;
+    double submit_s = 0.0;  ///< epoch_ reading at submission (wait latency)
   };
 
   void worker_loop();
@@ -78,6 +82,19 @@ class ThreadPool {
   std::condition_variable wake_;
   std::deque<Batch*> queue_;  ///< batches with jobs still to hand out
   bool stop_ = false;
+  std::size_t queued_jobs_ = 0;  ///< jobs not yet handed out (guarded by mutex_)
+
+  // Observability: latency measured against one pool-local epoch clock
+  // (util::Stopwatch is the sanctioned time source), handles resolved once
+  // at construction so the per-job path is atomics only. Must be
+  // initialised before workers_ spawns threads that use them.
+  util::Stopwatch epoch_;
+  obs::Counter& jobs_total_;
+  obs::Counter& batches_total_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& wait_seconds_;
+  obs::Histogram& run_seconds_;
+
   std::vector<std::thread> workers_;
 };
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace phodis::net {
@@ -15,6 +16,39 @@ namespace {
 /// The link is point-to-point: every inbound frame lands in one inbox
 /// under this key, whatever endpoint name the receiver asks for.
 constexpr const char* kInboxKey = "<link>";
+
+/// Client-side wire counters (see the server-side twin in server.cpp).
+struct WireCounters {
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& frames_dropped;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& torn_frames;
+  obs::Counter& malformed_messages;
+  obs::Counter& connects;
+  obs::Counter& reconnect_attempts;
+};
+
+WireCounters& wire_counters() {
+  static WireCounters counters{
+      obs::registry().counter("net_frames_sent_total", {{"side", "client"}}),
+      obs::registry().counter("net_frames_received_total",
+                              {{"side", "client"}}),
+      obs::registry().counter("net_frames_dropped_total",
+                              {{"side", "client"}}),
+      obs::registry().counter("net_bytes_sent_total", {{"side", "client"}}),
+      obs::registry().counter("net_bytes_received_total",
+                              {{"side", "client"}}),
+      obs::registry().counter("net_torn_frames_total", {{"side", "client"}}),
+      obs::registry().counter("net_malformed_messages_total",
+                              {{"side", "client"}}),
+      obs::registry().counter("net_connects_total", {{"side", "client"}}),
+      obs::registry().counter("net_reconnect_attempts_total",
+                              {{"side", "client"}}),
+  };
+  return counters;
+}
 }  // namespace
 
 void ReconnectPolicy::validate() const {
@@ -52,6 +86,7 @@ std::shared_ptr<Socket> Client::ensure_connected() {
   try {
     fresh = std::make_shared<Socket>(Socket::connect(server_));
   } catch (const std::exception& error) {
+    wire_counters().reconnect_attempts.inc();
     const std::int64_t backoff = std::min(
         reconnect_.max_backoff_ms,
         reconnect_.initial_backoff_ms
@@ -75,6 +110,7 @@ std::shared_ptr<Socket> Client::ensure_connected() {
   lock.lock();
   if (stop_) return nullptr;
   failed_attempts_ = 0;
+  wire_counters().connects.inc();
   socket_ = std::move(fresh);
   cv_.notify_all();  // hand the new socket to the reader
   return socket_;
@@ -96,14 +132,18 @@ void Client::reader_loop() {
       } catch (const FramingError& error) {
         util::log_warn() << "net::Client(" << name_
                          << "): torn frame: " << error.what();
+        wire_counters().torn_frames.inc();
         frame.reset();
       }
       if (!frame) break;  // EOF/torn: drop this socket, wait for the next
+      wire_counters().frames_received.inc();
+      wire_counters().bytes_received.inc(frame->size());
       try {
         inbox_.deliver(kInboxKey, dist::Message::decode(*frame));
       } catch (const std::exception& error) {
         util::log_warn() << "net::Client(" << name_
                          << "): malformed message: " << error.what();
+        wire_counters().malformed_messages.inc();
         break;
       }
     }
@@ -120,8 +160,11 @@ void Client::send(const std::string& /*endpoint*/, const dist::Message& msg) {
     if (stop_) return;
     ++frames_sent_;
     bytes_sent_ += frame.size();
+    wire_counters().frames_sent.inc();
+    wire_counters().bytes_sent.inc(frame.size());
     if (drops_.should_drop()) {
       ++frames_dropped_;
+      wire_counters().frames_dropped.inc();
       return;
     }
   }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/frame.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace phodis::net {
@@ -13,6 +14,38 @@ namespace {
 /// Accept poll period: bounds how long shutdown() waits on the accept
 /// thread.
 constexpr std::int64_t kAcceptPollMs = 50;
+
+/// Server-side wire counters, resolved once (function-local statics are
+/// thread-safe); labels keep server and client totals apart in a merged
+/// cluster report.
+struct WireCounters {
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& frames_dropped;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& torn_frames;
+  obs::Counter& malformed_messages;
+  obs::Counter& connections;
+};
+
+WireCounters& wire_counters() {
+  static WireCounters counters{
+      obs::registry().counter("net_frames_sent_total", {{"side", "server"}}),
+      obs::registry().counter("net_frames_received_total",
+                              {{"side", "server"}}),
+      obs::registry().counter("net_frames_dropped_total",
+                              {{"side", "server"}}),
+      obs::registry().counter("net_bytes_sent_total", {{"side", "server"}}),
+      obs::registry().counter("net_bytes_received_total",
+                              {{"side", "server"}}),
+      obs::registry().counter("net_torn_frames_total", {{"side", "server"}}),
+      obs::registry().counter("net_malformed_messages_total",
+                              {{"side", "server"}}),
+      obs::registry().counter("net_connections_total", {{"side", "server"}}),
+  };
+  return counters;
+}
 }  // namespace
 
 Server::Server(const Address& address, const dist::FaultSpec& faults,
@@ -33,6 +66,7 @@ void Server::accept_loop() {
     }
     auto socket = listener_.accept(kAcceptPollMs);
     if (!socket) continue;
+    wire_counters().connections.inc();
     auto connection = std::make_shared<Connection>();
     connection->socket = std::move(*socket);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -51,9 +85,12 @@ void Server::reader_loop(const std::shared_ptr<Connection>& connection) {
     } catch (const FramingError& error) {
       util::log_warn() << "net::Server: dropping connection: "
                        << error.what();
+      wire_counters().torn_frames.inc();
       frame.reset();
     }
     if (!frame) break;  // EOF or torn frame: connection is done
+    wire_counters().frames_received.inc();
+    wire_counters().bytes_received.inc(frame->size());
     dist::Message msg;
     try {
       msg = dist::Message::decode(*frame);
@@ -62,6 +99,7 @@ void Server::reader_loop(const std::shared_ptr<Connection>& connection) {
       util::log_warn() << "net::Server: dropping connection on malformed "
                           "message: "
                        << error.what();
+      wire_counters().malformed_messages.inc();
       break;
     }
     {
@@ -86,8 +124,11 @@ void Server::send(const std::string& endpoint, const dist::Message& msg) {
     if (stop_) return;
     ++frames_sent_;
     bytes_sent_ += frame.size();
+    wire_counters().frames_sent.inc();
+    wire_counters().bytes_sent.inc(frame.size());
     if (drops_.should_drop()) {
       ++frames_dropped_;
+      wire_counters().frames_dropped.inc();
       return;
     }
     const auto it = routes_.find(endpoint);

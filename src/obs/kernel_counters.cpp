@@ -1,0 +1,48 @@
+#include "obs/kernel_counters.hpp"
+
+namespace phodis::obs {
+
+#if defined(PHODIS_OBS_KERNEL)
+
+KernelCounters& KernelCounters::global() noexcept {
+  static KernelCounters instance;
+  return instance;
+}
+
+void append_kernel_counters(Snapshot& snapshot) {
+  const KernelCounters& kc = KernelCounters::global();
+  MetricSample photons;
+  photons.name = "mc_kernel_photons_launched_total";
+  photons.kind = MetricKind::kCounter;
+  photons.counter = kc.photons_launched.load(std::memory_order_relaxed);
+  snapshot.fold(std::move(photons));
+
+  MetricSample interactions;
+  interactions.name = "mc_kernel_interactions_total";
+  interactions.kind = MetricKind::kCounter;
+  interactions.counter = kc.interactions.load(std::memory_order_relaxed);
+  snapshot.fold(std::move(interactions));
+
+  MetricSample roulette;
+  roulette.name = "mc_kernel_roulette_terminations_total";
+  roulette.kind = MetricKind::kCounter;
+  roulette.counter =
+      kc.roulette_terminations.load(std::memory_order_relaxed);
+  snapshot.fold(std::move(roulette));
+}
+
+void reset_kernel_counters() noexcept {
+  KernelCounters& kc = KernelCounters::global();
+  kc.photons_launched.store(0, std::memory_order_relaxed);
+  kc.interactions.store(0, std::memory_order_relaxed);
+  kc.roulette_terminations.store(0, std::memory_order_relaxed);
+}
+
+#else
+
+void append_kernel_counters(Snapshot& snapshot) { (void)snapshot; }
+void reset_kernel_counters() noexcept {}
+
+#endif
+
+}  // namespace phodis::obs

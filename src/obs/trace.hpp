@@ -1,0 +1,92 @@
+// Span recorder emitting Chrome trace-event JSON (chrome://tracing /
+// Perfetto "traceEvents" format, complete "X" events).
+//
+// The recorder is process-global and off by default: ScopedSpan checks one
+// relaxed atomic and does nothing else when tracing is disabled, so spans
+// can stay in shard/task/request paths permanently. When enabled (the
+// --trace flag), timestamps are microseconds since enable(), read through
+// the sanctioned util::Stopwatch clock (D1), and events are buffered under
+// a mutex with a hard cap — a runaway run degrades to a truncated trace
+// plus a dropped-event count, never unbounded memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace phodis::obs {
+
+/// One complete ("ph":"X") trace event.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   ///< start, µs since TraceRecorder::enable()
+  std::uint64_t dur_us = 0;  ///< duration in µs
+  std::uint32_t tid = 0;     ///< stable small id from thread_id()
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceRecorder {
+ public:
+  /// Buffered-event cap; past it events are counted as dropped instead.
+  static constexpr std::size_t kMaxEvents = 1u << 20;
+
+  /// Start recording: resets the epoch clock and clears prior events.
+  void enable();
+  void disable();
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Seconds since enable() on the sanctioned steady clock.
+  double elapsed_s() const { return epoch_.seconds(); }
+
+  void record(TraceEvent event);
+
+  /// Events recorded so far (snapshot under the lock; for tests).
+  std::size_t event_count() const;
+  std::uint64_t dropped() const;
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} with events ordered by
+  /// (ts, tid, name) so equal histories serialise identically.
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+  /// Small dense id for the calling thread (thread_local, first-use
+  /// assigned). Used as the trace "tid".
+  static std::uint32_t thread_id();
+
+  static TraceRecorder& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  util::Stopwatch epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span: records one "X" event from construction to destruction when
+/// the global recorder is enabled, otherwise costs one relaxed load.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, std::string category);
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+  /// Attach a key/value argument (shown in the Perfetto detail pane).
+  /// No-op when the span is inactive.
+  void arg(std::string key, std::string value);
+
+ private:
+  bool active_;
+  TraceEvent event_;
+};
+
+}  // namespace phodis::obs

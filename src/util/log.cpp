@@ -9,6 +9,8 @@ namespace phodis::util {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::mutex g_sink_mutex;
+LogSink g_sink;  // empty = stderr; guarded by g_sink_mutex
+std::atomic<bool> g_warned_unknown_level{false};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -34,10 +36,20 @@ LogLevel parse_log_level(const std::string& name) noexcept {
   lower.reserve(name.size());
   for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
   if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
   if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
   if (lower == "error") return LogLevel::kError;
   if (lower == "off" || lower == "none") return LogLevel::kOff;
+  if (!g_warned_unknown_level.exchange(true)) {
+    log_warn() << "unknown log level \"" << name
+               << "\", defaulting to info";
+  }
   return LogLevel::kInfo;
+}
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
 }
 
 namespace detail {
@@ -45,7 +57,15 @@ namespace detail {
 void emit(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
   std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
   std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+}
+
+void reset_parse_log_level_warning() noexcept {
+  g_warned_unknown_level.store(false);
 }
 
 }  // namespace detail

@@ -2,6 +2,7 @@
 // globally (benches run quiet, examples run chatty).
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -15,11 +16,24 @@ void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
 /// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
-/// Unknown strings map to kInfo.
+/// Unknown strings map to kInfo, with a once-per-process warning (a typo'd
+/// --log-level should not silence itself).
 LogLevel parse_log_level(const std::string& name) noexcept;
+
+/// Receives every emitted line (already level-filtered) as (level, message
+/// body) — no tag prefix, no trailing newline. Called under the sink
+/// mutex, so it need not be thread-safe itself.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Redirect log output to `sink`; an empty sink restores the default
+/// stderr writer. Used by tests to capture output.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);
+
+/// Re-arm the parse_log_level one-shot warning (tests only).
+void reset_parse_log_level_warning() noexcept;
 
 /// RAII line builder: collects a message via operator<< and emits it on
 /// destruction, holding the sink mutex only for the final write.

@@ -12,11 +12,20 @@
 #          multi-threaded worker reconnects and the resumed run must
 #          still match the serial tally bitwise.
 #
+# Both phases ask the server for a cluster-wide metrics report
+# (--metrics-json) and cross-check its counters against the configured
+# faults: phase 1 must show injected frame drops and the killed worker's
+# lease expiry; phase 2 runs fault-free and must show zero drops.
+#
 # Usage: cluster_smoke.sh PATH_TO_phodis_server PATH_TO_phodis_worker
+#        [ARTIFACT_DIR]
+# When ARTIFACT_DIR is given, the metrics reports and trace files are
+# copied there (CI uploads them).
 set -u
 
 SERVER_BIN=${1:?usage: cluster_smoke.sh SERVER_BIN WORKER_BIN}
 WORKER_BIN=${2:?usage: cluster_smoke.sh SERVER_BIN WORKER_BIN}
+ARTIFACT_DIR=${3:-}
 
 TMP=$(mktemp -d "${TMPDIR:-/tmp}/phodis_smoke.XXXXXX")
 cleanup() {
@@ -43,10 +52,29 @@ wait_for_socket() {
   return 1
 }
 
+# counter_value FILE NAME LABELS — print the counter's value from a
+# metrics report (the writer emits one metric object per line, so plain
+# sed suffices). LABELS is the literal label-object body, e.g.
+# '"side": "server"' or '' for an unlabeled metric. Prints 0 if absent.
+counter_value() {
+  local v
+  v=$(sed -n "s/.*\"name\": \"$2\", \"labels\": {$3}, \"kind\": \"counter\", \"value\": \([0-9][0-9]*\).*/\1/p" "$1" | head -1)
+  echo "${v:-0}"
+}
+
+save_artifacts() {
+  [ -n "$ARTIFACT_DIR" ] || return 0
+  mkdir -p "$ARTIFACT_DIR"
+  cp -f "$TMP"/*.json "$ARTIFACT_DIR"/ 2>/dev/null || true
+}
+
 echo "== Phase 1: 3 workers (2 multi-threaded), 5% drops, one SIGKILLed =="
 SOCK="$TMP/phase1.sock"
+METRICS1="$TMP/metrics_phase1.json"
 "$SERVER_BIN" --listen "unix:$SOCK" --photons 120000 --chunk 4000 \
-  --seed 11 --lease 1.0 --drop 0.05 >"$TMP/server1.log" 2>&1 &
+  --seed 11 --lease 1.0 --drop 0.05 \
+  --metrics-json "$METRICS1" --trace "$TMP/trace_phase1.json" \
+  >"$TMP/server1.log" 2>&1 &
 SERVER=$!
 wait_for_socket "$SOCK" || fail "phase 1 server never bound $SOCK"
 
@@ -69,6 +97,19 @@ SERVER_RC=$?
 grep -q "bitwise-identical: yes" "$TMP/server1.log" ||
   fail "phase 1 tally did not match serial bitwise"
 kill "$W0" "$W1" >/dev/null 2>&1
+
+# The metrics report must reflect the faults this phase configured:
+# --drop 0.05 on the server side means injected frame drops, and the
+# SIGKILLed victim left a lease behind that had to expire to recover
+# its task.
+[ -f "$METRICS1" ] || fail "phase 1 server wrote no metrics report"
+DROPPED=$(counter_value "$METRICS1" net_frames_dropped_total '"side": "server"')
+[ "$DROPPED" -gt 0 ] ||
+  fail "phase 1: --drop 0.05 configured but net_frames_dropped_total{side=server} = $DROPPED"
+EXPIRED=$(counter_value "$METRICS1" dist_server_lease_expirations_total '')
+[ "$EXPIRED" -ge 1 ] ||
+  fail "phase 1: victim was SIGKILLed holding a lease but dist_server_lease_expirations_total = $EXPIRED"
+echo "phase 1 metrics: frames dropped = $DROPPED, leases expired = $EXPIRED"
 
 echo "== Phase 2: incremental-merge server SIGKILLed, resumed from checkpoint =="
 SOCK="$TMP/phase2.sock"
@@ -98,8 +139,10 @@ else
 fi
 sleep 0.5
 
+METRICS2="$TMP/metrics_phase2.json"
 "$SERVER_BIN" --listen "unix:$SOCK" --photons 120000 --chunk 4000 \
   --seed 11 --lease 1.0 --checkpoint "$CKPT" --merge-incremental \
+  --metrics-json "$METRICS2" \
   >"$TMP/server2b.log" 2>&1 &
 SERVER=$!
 wait "$SERVER"
@@ -114,5 +157,14 @@ else
 fi
 kill "$W2" >/dev/null 2>&1
 
+# Phase 2 ran without fault injection: the restarted server's report must
+# show a clean wire.
+[ -f "$METRICS2" ] || fail "phase 2 server wrote no metrics report"
+DROPPED2=$(counter_value "$METRICS2" net_frames_dropped_total '"side": "server"')
+[ "$DROPPED2" -eq 0 ] ||
+  fail "phase 2: no --drop configured but net_frames_dropped_total{side=server} = $DROPPED2"
+echo "phase 2 metrics: frames dropped = $DROPPED2 (fault-free, as configured)"
+
+save_artifacts
 echo "cluster_smoke: PASS"
 exit 0

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "lint/linter.hpp"
+#include "util/log.hpp"
 
 namespace fs = std::filesystem;
 using phodis::lint::Diagnostic;
@@ -38,7 +39,7 @@ std::string read_file(const fs::path& p) {
 }
 
 void usage() {
-  std::cerr
+  std::cout
       << "usage: phodis_lint [--root DIR] [--stats] [--baseline FILE]\n"
          "                   [--list-suppressions] [paths...]\n"
          "  paths default to: src tools bench\n";
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "phodis_lint: unknown option " << arg << "\n";
+      phodis::util::log_error() << "phodis_lint: unknown option " << arg;
       usage();
       return 2;
     } else {
@@ -82,7 +83,8 @@ int main(int argc, char** argv) {
     for (const std::string& r : roots) {
       const fs::path dir = root / r;
       if (!fs::exists(dir)) {
-        std::cerr << "phodis_lint: no such path: " << dir.string() << "\n";
+        phodis::util::log_error()
+            << "phodis_lint: no such path: " << dir.string();
         return 2;
       }
       if (fs::is_regular_file(dir)) {
@@ -96,7 +98,7 @@ int main(int argc, char** argv) {
       }
     }
   } catch (const std::exception& error) {
-    std::cerr << "phodis_lint: " << error.what() << "\n";
+    phodis::util::log_error() << "phodis_lint: " << error.what();
     return 2;
   }
 
@@ -120,7 +122,7 @@ int main(int argc, char** argv) {
       }
     }
   } catch (const std::exception& error) {
-    std::cerr << "phodis_lint: " << error.what() << "\n";
+    phodis::util::log_error() << "phodis_lint: " << error.what();
     return 2;
   }
 
@@ -163,7 +165,7 @@ int main(int argc, char** argv) {
       }
       ratchet_broken = !failures.empty();
     } catch (const std::exception& error) {
-      std::cerr << "phodis_lint: " << error.what() << "\n";
+      phodis::util::log_error() << "phodis_lint: " << error.what();
       return 2;
     }
   }

@@ -10,6 +10,13 @@
 //                   --chunk 5000 [--seed 11] [--lease 2.0] [--drop 0.05]
 //                   [--checkpoint run.ckpt] [--merge-incremental]
 //                   [--verify-threads N] [--no-verify]
+//                   [--metrics-json PATH] [--trace PATH] [--log-level LEVEL]
+//
+// With --metrics-json, the server writes one cluster-wide metrics report
+// at exit: its own registry (scheduling, wire, kernel counters) merged
+// with every MetricsSnapshot frame the workers shipped after Shutdown.
+// With --trace, spans (per-task on the server, per-shard on its verify
+// rerun) are written as Chrome trace-event JSON for Perfetto.
 //
 // With --checkpoint, progress (tasks, completion bits, result bytes) is
 // persisted atomically as results arrive; a SIGKILLed server restarted
@@ -32,8 +39,12 @@
 #include "dist/scheduler.hpp"
 #include "mc/presets.hpp"
 #include "net/server.hpp"
+#include "obs/kernel_counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/bytes.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -100,6 +111,10 @@ int main(int argc, char** argv) {
   dist::FaultSpec faults;
   faults.drop_probability = args.get_double("drop", 0.0);
   faults.seed = static_cast<std::uint64_t>(args.get_int("drop-seed", 2006));
+  const std::string metrics_path = args.get("metrics-json", "");
+  const std::string trace_path = args.get("trace", "");
+  util::set_log_level(util::parse_log_level(args.get("log-level", "info")));
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable();
 
   try {
     const core::MonteCarloApp app(make_spec(photons, seed));
@@ -120,26 +135,26 @@ int main(int argc, char** argv) {
     if (!checkpoint_path.empty() &&
         std::filesystem::exists(checkpoint_path)) {
       if (read_plan_meta(meta_path) != fingerprint) {
-        std::cerr << "phodis_server: " << checkpoint_path
-                  << " was written for a different task plan (see "
-                  << meta_path << "); refusing to resume\n";
+        util::log_error() << "phodis_server: " << checkpoint_path
+                          << " was written for a different task plan (see "
+                          << meta_path << "); refusing to resume";
         return 1;
       }
       const std::vector<std::uint8_t> sink_state =
           manager.restore_from_file(checkpoint_path);
       if (merger) {
         if (sink_state.empty() && manager.completed_count() > 0) {
-          std::cerr << "phodis_server: " << checkpoint_path
-                    << " retains raw results (written without "
-                       "--merge-incremental); refusing to resume "
-                       "incrementally\n";
+          util::log_error() << "phodis_server: " << checkpoint_path
+                            << " retains raw results (written without "
+                               "--merge-incremental); refusing to resume "
+                               "incrementally";
           return 1;
         }
         merger->restore(sink_state);
       } else if (!sink_state.empty()) {
-        std::cerr << "phodis_server: " << checkpoint_path
-                  << " carries a merged tally; rerun with "
-                     "--merge-incremental to resume it\n";
+        util::log_error() << "phodis_server: " << checkpoint_path
+                          << " carries a merged tally; rerun with "
+                             "--merge-incremental to resume it";
         return 1;
       }
       std::cout << "phodis_server: resumed " << manager.completed_count()
@@ -170,12 +185,48 @@ int main(int argc, char** argv) {
         return merger->state_bytes();
       };
     }
+    // Workers ship their registries (MetricsSnapshot frames) when they see
+    // Shutdown; merge them here and give the frames a bounded drain window.
+    obs::Snapshot worker_snapshots;
+    loop_options.metrics_snapshot_sink =
+        [&worker_snapshots](const std::string& sender,
+                            const std::vector<std::uint8_t>& payload) {
+          try {
+            worker_snapshots.merge(obs::Snapshot::decode(payload));
+          } catch (const std::exception& error) {
+            util::log_warn()
+                << "phodis_server: discarding bad metrics snapshot from \""
+                << sender << "\": " << error.what();
+          }
+        };
+    if (!metrics_path.empty()) loop_options.metrics_drain_ms = 400;
+
+    // One cluster-wide report: the server registry (scheduling, wire, and
+    // compile-gated kernel counters, including the verify rerun) folded
+    // with every worker snapshot that arrived.
+    const auto dump_observability = [&] {
+      if (!metrics_path.empty()) {
+        obs::Snapshot cluster = obs::registry().snapshot();
+        obs::append_kernel_counters(cluster);
+        cluster.merge(worker_snapshots);
+        obs::write_metrics_json(cluster, metrics_path);
+        std::cout << "phodis_server: metrics report: " << metrics_path
+                  << "\n";
+      }
+      if (!trace_path.empty()) {
+        obs::TraceRecorder::global().write_json(trace_path);
+        std::cout << "phodis_server: trace: " << trace_path << "\n";
+      }
+    };
+
     dist::run_server_loop(transport, manager, loop_options);
     const double serve_seconds = clock.seconds();
 
     if (manager.completed_count() != tasks.size()) {
-      std::cerr << "phodis_server: completed " << manager.completed_count()
-                << " of " << tasks.size() << " tasks\n";
+      util::log_error() << "phodis_server: completed "
+                        << manager.completed_count() << " of "
+                        << tasks.size() << " tasks";
+      dump_observability();
       return 1;
     }
     mc::SimulationTally tally = [&] {
@@ -210,6 +261,7 @@ int main(int argc, char** argv) {
 
     if (args.get_flag("no-verify")) {
       std::cout << "serial cross-check: skipped (--no-verify)\n";
+      dump_observability();
       return 0;
     }
     // run_parallel(1) is run_serial; more threads must not change a bit.
@@ -217,9 +269,10 @@ int main(int argc, char** argv) {
     const bool identical = serial.to_bytes() == tally.to_bytes();
     std::cout << "serial cross-check: bitwise-identical: "
               << (identical ? "yes" : "NO") << "\n";
+    dump_observability();
     return identical ? 0 : 1;
   } catch (const std::exception& error) {
-    std::cerr << "phodis_server: " << error.what() << "\n";
+    util::log_error() << "phodis_server: " << error.what();
     return 1;
   }
 }

@@ -11,6 +11,7 @@
 //                   [--threads 1] [--drop 0.0] [--drop-seed 2006]
 //                   [--death 0.0] [--death-seed 2006]
 //                   [--reconnect-attempts 20]
+//                   [--metrics-json PATH] [--trace PATH] [--log-level LEVEL]
 //
 // --threads N runs each task's photon shards on an N-thread pool
 // (0 = one per core) so a single worker process saturates a multi-core
@@ -18,6 +19,11 @@
 // --death injects the paper's client churn without a kill(1): the worker
 // abandons that assignment and rejoins under a fresh name, leaving the
 // lease to expire server-side.
+//
+// On Shutdown the worker always ships its registry (kernel, pool, wire
+// counters) to the server as a MetricsSnapshot frame for the cluster-wide
+// report; --metrics-json additionally writes the same snapshot locally,
+// and --trace writes this process's spans as Chrome trace-event JSON.
 #include <unistd.h>
 
 #include <iostream>
@@ -25,7 +31,11 @@
 #include "core/app.hpp"
 #include "dist/runtime.hpp"
 #include "net/client.hpp"
+#include "obs/kernel_counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 int main(int argc, char** argv) {
   using namespace phodis;
@@ -43,6 +53,10 @@ int main(int argc, char** argv) {
   net::ReconnectPolicy reconnect;
   reconnect.max_attempts =
       static_cast<std::size_t>(args.get_int("reconnect-attempts", 20));
+  const std::string metrics_path = args.get("metrics-json", "");
+  const std::string trace_path = args.get("trace", "");
+  util::set_log_level(util::parse_log_level(args.get("log-level", "info")));
+  if (!trace_path.empty()) obs::TraceRecorder::global().enable();
 
   try {
     net::Client transport(net::Address::parse(connect_spec), name, faults,
@@ -52,6 +66,7 @@ int main(int argc, char** argv) {
     options.death_probability = args.get_double("death", 0.0);
     options.death_seed =
         static_cast<std::uint64_t>(args.get_int("death-seed", 2006));
+    options.send_metrics_snapshot = true;
     const dist::WorkerLoopOutcome outcome = dist::run_worker_loop(
         transport, core::Algorithm::executor(threads), options);
     std::cout << "phodis_worker " << outcome.final_name << ": executed "
@@ -60,9 +75,21 @@ int main(int argc, char** argv) {
               << (outcome.saw_shutdown ? "shut down by server"
                                        : "lost the server")
               << "\n";
+    if (!metrics_path.empty()) {
+      obs::Snapshot snapshot = obs::registry().snapshot();
+      obs::append_kernel_counters(snapshot);
+      obs::write_metrics_json(snapshot, metrics_path);
+      std::cout << "phodis_worker " << outcome.final_name
+                << ": metrics report: " << metrics_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::global().write_json(trace_path);
+      std::cout << "phodis_worker " << outcome.final_name
+                << ": trace: " << trace_path << "\n";
+    }
     return outcome.saw_shutdown ? 0 : 2;
   } catch (const std::exception& error) {
-    std::cerr << "phodis_worker: " << error.what() << "\n";
+    util::log_error() << "phodis_worker: " << error.what();
     return 1;
   }
 }
