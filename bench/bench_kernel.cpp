@@ -23,6 +23,10 @@
 //                                     committed baseline (skips, exit 0,
 //                                     when the baseline file is absent)
 //   --photons N --reps R --quick --threads N --seed S
+//   --kernel-mode {scalar,packet,both}
+//                                     which photon loop(s) to measure
+//                                     (default scalar; "both" emits one
+//                                     JSON entry per preset per mode)
 //   --metrics-json PATH               dump the obs registry (plus any
 //                                     compile-gated kernel counters)
 //   --trace PATH                      Chrome trace-event spans (Perfetto)
@@ -52,16 +56,18 @@ namespace {
 
 using namespace phodis;
 
-mc::Kernel two_layer_radial_kernel() {
+mc::Kernel two_layer_radial_kernel(mc::KernelMode mode) {
   mc::KernelConfig config;
   config.medium = mc::two_layer_model();
   config.tally.enable_radial = true;
+  config.mode = mode;
   return mc::Kernel(std::move(config));
 }
 
-mc::Kernel bare_kernel(mc::LayeredMedium medium) {
+mc::Kernel bare_kernel(mc::LayeredMedium medium, mc::KernelMode mode) {
   mc::KernelConfig config;
   config.medium = std::move(medium);
+  config.mode = mode;
   return mc::Kernel(std::move(config));
 }
 
@@ -108,35 +114,48 @@ int main(int argc, char** argv) {
     options.warmup_photons = 1'000;
   }
 
+  const std::string mode_arg = args.get("kernel-mode", "scalar");
+  std::vector<mc::KernelMode> modes;
+  if (mode_arg == "both") {
+    modes = {mc::KernelMode::kScalar, mc::KernelMode::kPacket};
+  } else {
+    modes = {mc::parse_kernel_mode(mode_arg)};  // throws on junk
+  }
+
   bench::Report report;
   std::printf("bench_kernel: %llu photons/rep, %d reps (best-of shown)\n",
               static_cast<unsigned long long>(options.photons), options.reps);
 
-  const struct {
-    const char* name;
-    mc::Kernel kernel;
-  } presets[] = {
-      {"two_layer", two_layer_radial_kernel()},
-      {"two_layer_bare", bare_kernel(mc::two_layer_model())},
-      {"white_matter", bare_kernel(mc::homogeneous_white_matter())},
-      {"head_model", bare_kernel(mc::adult_head_model())},
-  };
-  for (const auto& preset : presets) {
-    report.presets.push_back(
-        bench::measure_preset(preset.name, preset.kernel, options));
-    const bench::PresetResult& r = report.presets.back();
-    std::printf("  %-18s %10.0f photons/sec (median %10.0f)\n",
-                r.name.c_str(), r.best_pps, r.median_pps);
-  }
+  for (const mc::KernelMode mode : modes) {
+    const std::string mode_name = mc::to_string(mode);
+    const struct {
+      const char* name;
+      mc::Kernel kernel;
+    } presets[] = {
+        {"two_layer", two_layer_radial_kernel(mode)},
+        {"two_layer_bare", bare_kernel(mc::two_layer_model(), mode)},
+        {"white_matter", bare_kernel(mc::homogeneous_white_matter(), mode)},
+        {"head_model", bare_kernel(mc::adult_head_model(), mode)},
+    };
+    for (const auto& preset : presets) {
+      bench::PresetResult r =
+          bench::measure_preset(preset.name, preset.kernel, options);
+      r.mode = mode_name;
+      std::printf("  %-18s %-7s %10.0f photons/sec (median %10.0f)\n",
+                  r.name.c_str(), r.mode.c_str(), r.best_pps, r.median_pps);
+      report.presets.push_back(std::move(r));
+    }
 
-  if (const auto threads = args.get_int("threads", 0); threads > 1) {
-    const std::string name = "two_layer_mt" + std::to_string(threads);
-    report.presets.push_back(
-        measure_sharded(name, presets[0].kernel,
-                        static_cast<std::size_t>(threads), options));
-    const bench::PresetResult& r = report.presets.back();
-    std::printf("  %-18s %10.0f photons/sec (median %10.0f)\n",
-                r.name.c_str(), r.best_pps, r.median_pps);
+    if (const auto threads = args.get_int("threads", 0); threads > 1) {
+      const std::string name = "two_layer_mt" + std::to_string(threads);
+      bench::PresetResult r =
+          measure_sharded(name, presets[0].kernel,
+                          static_cast<std::size_t>(threads), options);
+      r.mode = mode_name;
+      std::printf("  %-18s %-7s %10.0f photons/sec (median %10.0f)\n",
+                  r.name.c_str(), r.mode.c_str(), r.best_pps, r.median_pps);
+      report.presets.push_back(std::move(r));
+    }
   }
 
   if (args.has("json") || args.get_flag("json")) {

@@ -53,12 +53,13 @@ PresetResult measure_preset(const std::string& name, const mc::Kernel& kernel,
 
 void write_json(const Report& report, const std::string& path) {
   std::ostringstream out;
-  out << "{\n  \"benchmark\": \"bench_kernel\",\n  \"unit\": "
-         "\"photons_per_sec\",\n  \"presets\": [\n";
+  out << "{\n  \"benchmark\": \"bench_kernel\",\n  \"schema\": 2,\n"
+         "  \"unit\": \"photons_per_sec\",\n  \"presets\": [\n";
   for (std::size_t i = 0; i < report.presets.size(); ++i) {
     const PresetResult& p = report.presets[i];
     out << "    {\n";
     out << "      \"name\": \"" << p.name << "\",\n";
+    out << "      \"mode\": \"" << p.mode << "\",\n";
     out << "      \"photons\": " << p.photons << ",\n";
     char buffer[64];
     std::snprintf(buffer, sizeof buffer, "%.1f", p.best_pps);
@@ -98,9 +99,8 @@ std::string scan_string(const std::string& text, const std::string& key,
 
 }  // namespace
 
-std::vector<std::pair<std::string, double>> read_baseline(
-    const std::string& path) {
-  std::vector<std::pair<std::string, double>> result;
+std::vector<BaselineEntry> read_baseline(const std::string& path) {
+  std::vector<BaselineEntry> result;
   std::ifstream file(path);
   if (!file) return result;
   std::stringstream buffer;
@@ -112,13 +112,22 @@ std::vector<std::pair<std::string, double>> read_baseline(
     std::size_t after_name = cursor;
     const std::string name = scan_string(text, "name", cursor, &after_name);
     if (name.empty()) break;
+    // The schema-v2 "mode" field sits between this preset's "name" and the
+    // next one's; a v1 file has no "mode" at all. Only accept a match that
+    // stays inside the current preset object so v1 files (and the final
+    // v2 preset) fall back to "scalar" instead of stealing a later key.
+    const std::size_t next_name = text.find("\"name\"", after_name);
+    std::size_t after_mode = after_name;
+    std::string mode = scan_string(text, "mode", after_name, &after_mode);
+    if (mode.empty() || after_mode > next_name) mode = "scalar";
     const std::size_t value_key =
         text.find("\"photons_per_sec_best\"", after_name);
-    if (value_key == std::string::npos) break;
+    if (value_key == std::string::npos || value_key > next_name) break;
     const std::size_t colon = text.find(':', value_key);
     if (colon == std::string::npos) break;
     try {
-      result.emplace_back(name, std::stod(text.substr(colon + 1)));
+      result.push_back(
+          BaselineEntry{name, mode, std::stod(text.substr(colon + 1))});
     } catch (const std::exception&) {
       // Malformed value (truncated/hand-edited file): treat the whole
       // baseline as unusable rather than aborting the bench run.
@@ -143,24 +152,29 @@ CheckResult check_against_baseline(const Report& report,
   check.baseline_found = true;
 
   for (const PresetResult& preset : report.presets) {
-    const auto it =
-        std::find_if(baseline.begin(), baseline.end(),
-                     [&](const auto& entry) { return entry.first == preset.name; });
+    const auto it = std::find_if(
+        baseline.begin(), baseline.end(), [&](const BaselineEntry& entry) {
+          return entry.name == preset.name && entry.mode == preset.mode;
+        });
+    const std::string label = preset.name + "/" + preset.mode;
     char line[256];
     if (it == baseline.end()) {
-      std::snprintf(line, sizeof line, "%-20s %10.0f pps (no baseline)",
-                    preset.name.c_str(), preset.best_pps);
+      // Skip-if-absent, per (name, mode): a v2 binary run with
+      // --kernel-mode both checks cleanly against a v1 baseline that
+      // only ever recorded scalar numbers.
+      std::snprintf(line, sizeof line, "%-28s %10.0f pps (no baseline)",
+                    label.c_str(), preset.best_pps);
       check.lines.push_back(line);
       continue;
     }
-    const double floor = (1.0 - tolerance) * it->second;
+    const double floor = (1.0 - tolerance) * it->best_pps;
     const bool regressed = preset.best_pps < floor;
     std::snprintf(line, sizeof line,
-                  "%-20s %10.0f pps vs baseline %10.0f (floor %10.0f) %s",
-                  preset.name.c_str(), preset.best_pps, it->second, floor,
+                  "%-28s %10.0f pps vs baseline %10.0f (floor %10.0f) %s",
+                  label.c_str(), preset.best_pps, it->best_pps, floor,
                   regressed ? "REGRESSED" : "ok");
     check.lines.push_back(line);
-    if (regressed) check.regressions.push_back(preset.name);
+    if (regressed) check.regressions.push_back(label);
   }
   return check;
 }

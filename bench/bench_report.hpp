@@ -28,6 +28,7 @@ namespace phodis::bench {
 
 struct PresetResult {
   std::string name;
+  std::string mode = "scalar";  ///< kernel mode ("scalar" | "packet")
   std::uint64_t photons = 0;  ///< photons per rep (pinned)
   double best_pps = 0.0;      ///< max photons/sec over reps (thresholded)
   double median_pps = 0.0;
@@ -59,11 +60,19 @@ PresetResult finalize_preset(std::string name, std::uint64_t photons,
 /// Serialize the report as pretty-printed JSON at `path`.
 void write_json(const Report& report, const std::string& path);
 
-/// Extract {preset name -> best_pps} from a JSON file previously written
-/// by write_json (targeted scan, not a general JSON parser). Returns an
+/// One baseline entry, keyed by (name, mode). Schema-v1 files (no
+/// per-preset "mode" field) load with mode = "scalar", so a v2 binary
+/// checks cleanly against a v1 baseline.
+struct BaselineEntry {
+  std::string name;
+  std::string mode;
+  double best_pps = 0.0;
+};
+
+/// Extract the baseline entries from a JSON file previously written by
+/// write_json (targeted scan, not a general JSON parser). Returns an
 /// empty vector when the file is missing or contains no presets.
-std::vector<std::pair<std::string, double>> read_baseline(
-    const std::string& path);
+std::vector<BaselineEntry> read_baseline(const std::string& path);
 
 struct CheckResult {
   bool baseline_found = false;

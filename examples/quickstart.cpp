@@ -6,9 +6,12 @@
 //   4. read the answers off the merged tally.
 //
 // Build & run:  ./quickstart [--photons 50000] [--workers 4] [--threads 1]
+//               [--kernel-mode {scalar,packet}]
 //               [--metrics-json PATH] [--trace PATH]
 // (--threads N shards each task over a worker-side pool — same bits,
-//  more cores; --metrics-json/--trace dump the run's observability:
+//  more cores; --kernel-mode packet selects the batched SoA photon loop,
+//  ~3x faster and statistically equivalent, with its own deterministic
+//  bit-stream; --metrics-json/--trace dump the run's observability:
 //  counters as JSON, spans as Chrome trace-event JSON for Perfetto)
 #include <iostream>
 
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
   spec.photons =
       static_cast<std::uint64_t>(args.get_int("photons", 50'000));
   spec.seed = 42;
+  spec.kernel.mode = mc::parse_kernel_mode(args.get("kernel-mode", "scalar"));
 
   // 3. Run on the in-process distributed platform (DataManager + workers).
   core::MonteCarloApp app(spec);

@@ -67,6 +67,7 @@ void SimulationSpec::serialize(util::ByteWriter& writer) const {
     writer.f64(kernel.detector->gate.max_mm);
   }
   writer.u8(static_cast<std::uint8_t>(kernel.boundary_model));
+  writer.u8(static_cast<std::uint8_t>(kernel.mode));
   writer.f64(kernel.roulette.threshold);
   writer.f64(kernel.roulette.survival_multiplier);
   kernel.tally.serialize(writer);
@@ -92,6 +93,7 @@ SimulationSpec SimulationSpec::deserialize(util::ByteReader& reader) {
   }
   spec.kernel.boundary_model =
       static_cast<mc::BoundaryModel>(reader.u8());
+  spec.kernel.mode = static_cast<mc::KernelMode>(reader.u8());
   spec.kernel.roulette.threshold = reader.f64();
   spec.kernel.roulette.survival_multiplier = reader.f64();
   spec.kernel.tally = mc::TallyConfig::deserialize(reader);

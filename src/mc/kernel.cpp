@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "mc/fresnel.hpp"
+#include "mc/packet_kernel.hpp"
 #include "mc/scatter.hpp"
 #include "util/fastmath.hpp"
 
@@ -41,6 +42,18 @@ std::string to_string(BoundaryModel model) {
                                                 : "classical";
 }
 
+KernelMode parse_kernel_mode(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "scalar") return KernelMode::kScalar;
+  if (lower == "packet" || lower == "simd") return KernelMode::kPacket;
+  throw std::invalid_argument("unknown kernel mode: " + name);
+}
+
+std::string to_string(KernelMode mode) {
+  return mode == KernelMode::kScalar ? "scalar" : "packet";
+}
+
 void KernelConfig::validate() const {
   if (medium.layer_count() == 0) {
     throw std::invalid_argument("KernelConfig: medium has no layers");
@@ -54,6 +67,26 @@ void KernelConfig::validate() const {
   if (record_all_paths && !tally.enable_path_grid) {
     throw std::invalid_argument(
         "KernelConfig: record_all_paths requires the path grid");
+  }
+  if (mode == KernelMode::kPacket) {
+    if (boundary_model != BoundaryModel::kProbabilistic) {
+      throw std::invalid_argument(
+          "KernelConfig: packet mode supports only the probabilistic "
+          "boundary model");
+    }
+    if (tally.enable_path_grid || record_all_paths) {
+      throw std::invalid_argument(
+          "KernelConfig: packet mode does not support the path grid "
+          "(per-lane deposit replay is a scalar-loop feature)");
+    }
+    for (std::size_t i = 0; i < medium.layer_count(); ++i) {
+      const OpticalProperties& props = medium.layer(i).props;
+      if (!(props.mua + props.mus > 0.0)) {
+        throw std::invalid_argument(
+            "KernelConfig: packet mode requires interacting layers "
+            "(every layer µt > 0)");
+      }
+    }
   }
 }
 
@@ -70,6 +103,10 @@ SimulationTally Kernel::make_tally() const {
 
 void Kernel::run(std::uint64_t photon_count, util::Xoshiro256pp& rng,
                  SimulationTally& tally) const {
+  if (config_.mode == KernelMode::kPacket) {
+    run_packet(*this, photon_count, rng, tally);
+    return;
+  }
   const SimFn fn = select_sim_fn(tally, /*trace=*/false);
   PathRecorder recorder;
   for (std::uint64_t i = 0; i < photon_count; ++i) {
@@ -90,6 +127,13 @@ PhotonTrace Kernel::trace(util::Xoshiro256pp& rng,
 void Kernel::CompiledRun::operator()(std::uint64_t photon_count,
                                      util::Xoshiro256pp& rng,
                                      SimulationTally& tally) const {
+  // One mode test per shard call (thousands of photons), so the packet
+  // dispatch costs the scalar path nothing measurable and the shard
+  // executors need no mode plumbing of their own.
+  if (kernel_->config_.mode == KernelMode::kPacket) {
+    run_packet(*kernel_, photon_count, rng, tally);
+    return;
+  }
   PathRecorder recorder;
   for (std::uint64_t i = 0; i < photon_count; ++i) {
     (kernel_->*fn_)(rng, tally, recorder, nullptr, 0);

@@ -64,12 +64,35 @@ enum class BoundaryModel : std::uint8_t {
 BoundaryModel parse_boundary_model(const std::string& name);
 std::string to_string(BoundaryModel model);
 
+/// Which photon loop executes a run.
+enum class KernelMode : std::uint8_t {
+  /// One photon at a time through the specialized scalar loop — the
+  /// reference oracle, bitwise-pinned by tests/test_kernel_golden.cpp.
+  /// Default everywhere.
+  kScalar = 0,
+  /// kPacketWidth photons marched in SoA lanes with vectorized
+  /// log/sincos (mc/packet_kernel.*). Deliberately NOT bitwise-equal to
+  /// scalar: it has its own golden hashes (self-reproducible at any
+  /// thread count) and is statistically equivalent to scalar within
+  /// Monte Carlo error (tests/test_packet_kernel.cpp).
+  kPacket,
+};
+
+KernelMode parse_kernel_mode(const std::string& name);
+std::string to_string(KernelMode mode);
+
 struct KernelConfig {
   LayeredMedium medium;
   SourceSpec source;
   std::optional<DetectorSpec> detector;
   BoundaryModel boundary_model = BoundaryModel::kProbabilistic;
   RouletteSpec roulette;
+
+  /// Photon-loop selection. kPacket supports the probabilistic boundary
+  /// model with fluence/radial/detector tallies in interacting media
+  /// (every layer µt > 0); validate() rejects the rest. trace() always
+  /// uses the scalar loop regardless of mode.
+  KernelMode mode = KernelMode::kScalar;
 
   /// Tally shape. `layer_count` is overridden from `medium` by the kernel.
   TallyConfig tally;
@@ -114,6 +137,10 @@ class Kernel {
 
   /// The medium lowered into flat SoA optics tables at construction.
   const CompiledMedium& compiled_medium() const noexcept { return compiled_; }
+
+  /// The launch-position/direction sampler (used by the packet kernel's
+  /// lane refill, which reuses the exact scalar launch sampling).
+  const Source& source() const noexcept { return source_; }
 
  private:
   /// Pointer to one photon-loop specialization.

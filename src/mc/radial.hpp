@@ -79,6 +79,44 @@ class RadialTally {
       const std::size_t iz = static_cast<std::size_t>(z_mm * inv_dz_);
       arz_[iz * nr_ + static_cast<std::size_t>(r_mm * inv_dr_)] += weight;
     }
+    /// Batched absorption() over N lanes for the packet kernel: lanes
+    /// with mask[i] == 0 are no-ops; masked-in lanes follow absorption()
+    /// exactly (same truncation, same overflow routing, same per-bin
+    /// accumulation order as N sequential calls). The bounds tests and
+    /// bin arithmetic auto-vectorize in the caller's TU; only the
+    /// accumulates stay scalar (lanes may collide on a bin). Out-of-range
+    /// coordinates are replaced by 0.0 before the int conversion so
+    /// masked-out garbage (parked lanes) never hits the UB of an
+    /// out-of-range float-to-int cast.
+    template <std::size_t N>
+    void absorption_lanes(const double* r_mm, const double* z_mm,
+                          const double* weight,
+                          const std::uint64_t* mask) const noexcept {
+      std::uint64_t in[N];
+      std::int32_t ir[N];
+      std::int32_t iz[N];
+      for (std::size_t i = 0; i < N; ++i) {
+        const std::uint64_t ok =
+            static_cast<std::uint64_t>(r_mm[i] < r_max_) &
+            static_cast<std::uint64_t>(r_mm[i] >= 0.0) &
+            static_cast<std::uint64_t>(z_mm[i] >= 0.0) &
+            static_cast<std::uint64_t>(z_mm[i] < z_max_) &
+            mask[i];
+        in[i] = ok;
+        const double r_safe = ok ? r_mm[i] : 0.0;
+        const double z_safe = ok ? z_mm[i] : 0.0;
+        ir[i] = static_cast<std::int32_t>(r_safe * inv_dr_);
+        iz[i] = static_cast<std::int32_t>(z_safe * inv_dz_);
+      }
+      for (std::size_t i = 0; i < N; ++i) {
+        if (in[i]) {
+          arz_[static_cast<std::size_t>(iz[i]) * nr_ +
+               static_cast<std::size_t>(ir[i])] += weight[i];
+        } else if (mask[i]) {
+          *a_overflow_ += weight[i];
+        }
+      }
+    }
 
    private:
     double r_max_, z_max_, inv_dr_, inv_dz_;

@@ -1,0 +1,117 @@
+// Lane-parallel log and sincos. See vmath.hpp for the accuracy and
+// determinism contracts. This TU (and packet_kernel.cpp) is compiled with
+// -O3 -mavx2 -ffp-contract=off, scoped in CMakeLists.txt; the loops are
+// written as straight-line per-lane arithmetic with branchless selects so
+// the auto-vectorizer turns each into a handful of vector ops.
+//
+// The polynomials and reduction constants are the public-domain fdlibm
+// ones (Sun Microsystems, via glibc/musl); re-derived coefficients would
+// buy nothing and cost the known error bounds.
+#include "mc/vmath.hpp"
+
+#include <bit>
+#include <cstdint>
+
+namespace phodis::mc {
+
+namespace {
+
+// log reduction/series constants (fdlibm e_log.c).
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+constexpr double kLg1 = 6.666666666666735130e-01;
+constexpr double kLg2 = 3.999999999940941908e-01;
+constexpr double kLg3 = 2.857142874366239149e-01;
+constexpr double kLg4 = 2.222219843214978396e-01;
+constexpr double kLg5 = 1.818357216161805012e-01;
+constexpr double kLg6 = 1.531383769920937332e-01;
+constexpr double kLg7 = 1.479819860511658591e-01;
+constexpr double kSqrt2 = 1.41421356237309514547462185873883;  // 2^0.5, +1ulp
+
+// k_sin / k_cos minimax coefficients on [-pi/4, pi/4] (fdlibm).
+constexpr double kS1 = -1.66666666666666324348e-01;
+constexpr double kS2 = 8.33333333332248946124e-03;
+constexpr double kS3 = -1.98412698298579493134e-04;
+constexpr double kS4 = 2.75573137070700676789e-06;
+constexpr double kS5 = -2.50507602534068634195e-08;
+constexpr double kS6 = 1.58969099521155010221e-10;
+constexpr double kC1 = 4.16666666666666019037e-02;
+constexpr double kC2 = -1.38888888888741095749e-03;
+constexpr double kC3 = 2.48015872894767294178e-05;
+constexpr double kC4 = -2.75573143513906633035e-07;
+constexpr double kC5 = 2.08757232129817482790e-09;
+constexpr double kC6 = -1.13596475577881948265e-11;
+
+// pi/2 split so theta = r*hi + r*lo keeps the quadrant residual accurate
+// to ~2^-60 without a double-double multiply.
+constexpr double kPio2Hi = 1.57079632679489655800e+00;
+constexpr double kPio2Lo = 6.12323399573676603587e-17;
+
+// Adding 2^52 + 2^51 forces round-to-nearest-even to the integer in the
+// low mantissa bits — the classic branch-free double -> int round for
+// values well inside +-2^51.
+constexpr double kRoundMagic = 6755399441055744.0;
+
+}  // namespace
+
+void vlog(const double* x, double* out, std::size_t n) noexcept {
+  // 2^52 + 2^51? No — plain 2^52: OR-ing the 11-bit biased exponent into
+  // the mantissa of 2^52 yields exactly 2^52 + (e + 1023) (integers below
+  // 2^53 are exact), so the exponent reaches double-land through bit ops
+  // alone. An int64 -> double convert here has no AVX2 instruction and
+  // makes gcc drop the whole loop to scalar ("no vectype").
+  constexpr double kExpBias = 4503599627370496.0 + 1023.0;  // 2^52 + bias
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(x[i]);
+    const double e_biased =
+        std::bit_cast<double>((bits >> 52) | 0x4330000000000000ULL);
+    // Mantissa in [1, 2), then shifted to [sqrt2/2, sqrt2) so the series
+    // argument f = m - 1 stays small on both sides of zero.
+    double m = std::bit_cast<double>((bits & 0x000FFFFFFFFFFFFFULL) |
+                                     0x3FF0000000000000ULL);
+    const bool shift = m > kSqrt2;
+    m = shift ? 0.5 * m : m;
+    // Exact small-integer arithmetic: identical bits to the old
+    // static_cast<double>(int64 e) formulation.
+    const double k = (shift ? e_biased + 1.0 : e_biased) - kExpBias;
+
+    const double f = m - 1.0;
+    const double s = f / (2.0 + f);
+    const double z = s * s;
+    const double w = z * z;
+    const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+    const double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+    const double r = t2 + t1;
+    const double hfsq = 0.5 * f * f;
+    out[i] = k * kLn2Hi - ((hfsq - (s * (hfsq + r) + k * kLn2Lo)) - f);
+  }
+}
+
+void vsincos_2pi(const double* u, double* sin_out, double* cos_out,
+                 std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = 4.0 * u[i];  // quadrant coordinate in [0, 4]
+    const double biased = a + kRoundMagic;
+    const std::uint64_t q = std::bit_cast<std::uint64_t>(biased);
+    const double r = a - (biased - kRoundMagic);  // in [-0.5, 0.5]
+    const double theta = r * kPio2Hi + r * kPio2Lo;
+
+    const double z = theta * theta;
+    const double sp =
+        kS1 + z * (kS2 + z * (kS3 + z * (kS4 + z * (kS5 + z * kS6))));
+    const double s = theta + theta * z * sp;
+    const double cp =
+        kC1 + z * (kC2 + z * (kC3 + z * (kC4 + z * (kC5 + z * kC6))));
+    const double c = 1.0 - 0.5 * z + z * z * cp;
+
+    // Quadrant rotation: q odd swaps sin/cos; the sign patterns follow
+    // sin(x + q*pi/2), cos(x + q*pi/2).
+    const bool swap = (q & 1) != 0;
+    const double ss = swap ? c : s;
+    const double cc = swap ? s : c;
+    sin_out[i] = (q & 2) != 0 ? -ss : ss;
+    cos_out[i] = ((q + 1) & 2) != 0 ? -cc : cc;
+  }
+}
+
+}  // namespace phodis::mc

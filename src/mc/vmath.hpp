@@ -1,0 +1,53 @@
+// Vectorizable transcendentals for the packet kernel (KernelMode::kPacket).
+//
+// The scalar kernel's throughput ceiling is the latency chain through
+// glibc's log/sincos — bitwise-pinned, correctly-rounded, and serial. The
+// packet kernel marches kPacketWidth photons in SoA lanes, so it can
+// afford polynomial approximations evaluated lane-parallel: plain loops
+// over fixed-width arrays that gcc auto-vectorizes at -O3 with the
+// relaxed-FP flags scoped to vmath.cpp / packet_kernel.cpp (see
+// CMakeLists.txt). No intrinsics: the data layout does the work.
+//
+// Accuracy contract (verified by tests/test_packet_kernel.cpp):
+//  * vlog:        fdlibm-style argument reduction + degree-7 series in
+//                 s = (m-1)/(m+1). Max error <= 4 ulp vs std::log over
+//                 (0, 1] (measured ~1 ulp); callers feed it exponential
+//                 step sampling, where 1e-15 relative error is ~9 orders
+//                 below the Monte Carlo noise floor.
+//  * vsincos_2pi: sin/cos of 2*pi*u for u in [0, 1), via round-to-nearest
+//                 quadrant reduction and fdlibm k_sin/k_cos minimax
+//                 polynomials on [-pi/4, pi/4]. Max ABSOLUTE error
+//                 <= 2^-50 (~9e-16; measured ~2e-16). Near the zeros of
+//                 sin/cos the *relative* error is unbounded, which is
+//                 irrelevant for sampling azimuthal directions.
+//
+// Determinism contract: every polynomial is fixed-order Horner and the
+// TUs are built with -ffp-contract=off, so results are identical IEEE
+// doubles whether the loop was vectorized, unrolled, or run under a
+// sanitizer at -O2 — the packet golden hashes hold across the whole
+// build matrix, they are just not the glibc-rounded values the scalar
+// mode pins.
+#pragma once
+
+#include <cstddef>
+
+namespace phodis::mc {
+
+/// Photons marched per packet: 8 doubles = one AVX-512 register or two
+/// AVX2 registers. Part of the packet-mode golden contract (changing it
+/// changes lane sub-stream layout and refill order).
+inline constexpr std::size_t kPacketWidth = 8;
+
+/// out[i] = log(x[i]) for x[i] in (0, 1] (no subnormal/zero/negative
+/// handling: the caller feeds uniform_open0() draws, which are >= 2^-53).
+void vlog(const double* x, double* out, std::size_t n) noexcept;
+
+/// sin_out[i] = sin(2*pi*u[i]), cos_out[i] = cos(2*pi*u[i]) for u in
+/// [0, 1). Sampling the azimuth directly from the unit draw skips the
+/// 2*pi multiply AND glibc's generic payne-hanek reduction: the quadrant
+/// is exact (4u rounded to nearest int) and the residual angle is
+/// |theta| <= pi/4 by construction.
+void vsincos_2pi(const double* u, double* sin_out, double* cos_out,
+                 std::size_t n) noexcept;
+
+}  // namespace phodis::mc

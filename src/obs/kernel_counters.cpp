@@ -29,6 +29,30 @@ void append_kernel_counters(Snapshot& snapshot) {
   roulette.counter =
       kc.roulette_terminations.load(std::memory_order_relaxed);
   snapshot.fold(std::move(roulette));
+
+  MetricSample refills;
+  refills.name = "mc_kernel_lane_refills_total";
+  refills.kind = MetricKind::kCounter;
+  refills.counter = kc.lane_refills.load(std::memory_order_relaxed);
+  snapshot.fold(std::move(refills));
+
+  // Occupancy as a le-convention histogram: bucket b holds iterations
+  // with occupancy == b+1 (bounds 1..kOccupancySlots-1), the implicit
+  // +inf bucket stays empty.
+  MetricSample occupancy;
+  occupancy.name = "mc_kernel_packet_occupancy";
+  occupancy.kind = MetricKind::kHistogram;
+  occupancy.bounds.reserve(KernelCounters::kOccupancySlots - 1);
+  occupancy.bucket_counts.assign(KernelCounters::kOccupancySlots, 0);
+  for (std::size_t o = 1; o < KernelCounters::kOccupancySlots; ++o) {
+    occupancy.bounds.push_back(static_cast<double>(o));
+    const std::uint64_t count =
+        kc.packet_occupancy[o].load(std::memory_order_relaxed);
+    occupancy.bucket_counts[o - 1] = count;
+    occupancy.observations += count;
+    occupancy.sum += static_cast<double>(o) * static_cast<double>(count);
+  }
+  snapshot.fold(std::move(occupancy));
 }
 
 void reset_kernel_counters() noexcept {
@@ -36,6 +60,10 @@ void reset_kernel_counters() noexcept {
   kc.photons_launched.store(0, std::memory_order_relaxed);
   kc.interactions.store(0, std::memory_order_relaxed);
   kc.roulette_terminations.store(0, std::memory_order_relaxed);
+  kc.lane_refills.store(0, std::memory_order_relaxed);
+  for (std::size_t o = 0; o < KernelCounters::kOccupancySlots; ++o) {
+    kc.packet_occupancy[o].store(0, std::memory_order_relaxed);
+  }
 }
 
 #else

@@ -26,6 +26,20 @@ struct KernelCounters {
   std::atomic<std::uint64_t> interactions{0};
   std::atomic<std::uint64_t> roulette_terminations{0};
 
+  /// Packet-mode lane compaction events: a dead lane re-armed with the
+  /// next photon from the stream mid-run (the initial fill is not a
+  /// refill). Flushed once per run_packet call.
+  std::atomic<std::uint64_t> lane_refills{0};
+
+  /// Packet-mode occupancy histogram: packet_occupancy[o] counts packet
+  /// loop iterations that ran with exactly o active lanes (o = 1 ..
+  /// kOccupancySlots-1; slot 0 stays zero — the loop exits at zero
+  /// occupancy). Slot count equals mc::kPacketWidth + 1; a static_assert
+  /// in mc/packet_kernel.cpp keeps the two in sync without an obs -> mc
+  /// include.
+  static constexpr std::size_t kOccupancySlots = 9;
+  std::atomic<std::uint64_t> packet_occupancy[kOccupancySlots] = {};
+
   static KernelCounters& global() noexcept;
 };
 #endif

@@ -44,6 +44,26 @@ void Xoshiro256pp::jump() noexcept {
   s_ = t;
 }
 
+void Xoshiro256pp::long_jump() noexcept {
+  // Blackman & Vigna's published LONG_JUMP polynomial (2^192 steps).
+  static constexpr std::uint64_t kLongJump[] = {
+      0x76E15D3EFEFDCBBFULL, 0xC5004E441C522FB3ULL, 0x77710069854EE241ULL,
+      0x39109BB02ACBE635ULL};
+  std::array<std::uint64_t, 4> t{};
+  for (std::uint64_t word : kLongJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        t[0] ^= s_[0];
+        t[1] ^= s_[1];
+        t[2] ^= s_[2];
+        t[3] ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_ = t;
+}
+
 double Xoshiro256pp::normal() noexcept {
   if (have_spare_normal_) {
     have_spare_normal_ = false;

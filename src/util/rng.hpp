@@ -77,6 +77,14 @@ class Xoshiro256pp {
   /// thread-pool fallback path).
   void jump() noexcept;
 
+  /// Jump ahead 2^192 steps. Orthogonal to jump(): shard s of a task is
+  /// the task stream + s jump()s, and lane k *within* a shard is the
+  /// shard stream + k long_jump()s — so lane k of shard s sits at offset
+  /// s·2^128 + k·2^192, which no other (shard, lane) pair of the same
+  /// task reaches while s stays below 2^64. Deriving lanes with jump()
+  /// instead would alias lane k of shard s with the base of shard s+k.
+  void long_jump() noexcept;
+
   /// Uniform double in [0, 1): 53 high bits scaled by 2^-53.
   double uniform() noexcept {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
@@ -95,6 +103,17 @@ class Xoshiro256pp {
   double normal() noexcept;
 
   std::array<std::uint64_t, 4> state() const noexcept { return s_; }
+
+  /// Rebuild a generator from a previously captured state() — the packet
+  /// kernel stores lane streams as flat SoA words and materialises a
+  /// generator only for launch sampling. The Marsaglia spare-normal cache
+  /// is NOT part of the state and starts empty.
+  static Xoshiro256pp from_state(
+      const std::array<std::uint64_t, 4>& state) noexcept {
+    Xoshiro256pp rng;
+    rng.s_ = state;
+    return rng;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -235,6 +235,28 @@ TEST(RuleD3, OnlyAppliesInsideMc) {
   EXPECT_TRUE(violations("bench/bench_kernel.cpp", src, "D3").empty());
 }
 
+TEST(RuleD3, PacketAndVmathTusAreExempt) {
+  // The batched-packet TUs are compiled with scoped relaxed-FP flags and
+  // carry their own golden hashes, so D3's double-only hygiene rule
+  // stands down there — and ONLY there.
+  const std::string src = "float x = 0.5f;\ndouble r = std::hypot(a, b);\n";
+  EXPECT_TRUE(violations("src/mc/packet_kernel.cpp", src, "D3").empty());
+  EXPECT_TRUE(violations("src/mc/packet_kernel.hpp", src, "D3").empty());
+  EXPECT_TRUE(violations("src/mc/vmath.cpp", src, "D3").empty());
+  EXPECT_TRUE(violations("src/mc/vmath.hpp", src, "D3").empty());
+}
+
+TEST(RuleD3, ExemptionIsFileScopedNotDirectoryScoped) {
+  // The carve-out is an explicit file list, not a pattern that could
+  // swallow neighbours: a same-prefix sibling and every other src/mc/
+  // file remain D3 territory.
+  // (two diagnostics per file: the float declaration and the 0.5f literal)
+  const std::string src = "float x = 0.5f;\n";
+  EXPECT_EQ(violations("src/mc/kernel.cpp", src, "D3").size(), 2u);
+  EXPECT_EQ(violations("src/mc/vmath_tables.cpp", src, "D3").size(), 2u);
+  EXPECT_EQ(violations("src/mc/packet_kernel2.cpp", src, "D3").size(), 2u);
+}
+
 TEST(RuleD3, CleanOnDoubleMath) {
   const auto v = violations(
       "src/mc/kernel.cpp",

@@ -4,6 +4,7 @@
 // validates shape, not just substrings).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -493,14 +494,28 @@ TEST(ObsKernelCounters, AppendMatchesCompileToggle) {
   obs::Snapshot snap;
   obs::append_kernel_counters(snap);
   if (obs::kernel_counters_compiled()) {
-    ASSERT_EQ(snap.samples.size(), 3u);
+    // photons / interactions / roulette counters, the packet loop's
+    // lane-refill counter, and the packet-occupancy histogram.
+    ASSERT_EQ(snap.samples.size(), 5u);
     EXPECT_EQ(snap.counter_value("mc_kernel_photons_launched_total"), 0u);
+    EXPECT_EQ(snap.counter_value("mc_kernel_lane_refills_total"), 0u);
 #if defined(PHODIS_OBS_KERNEL)
     obs::KernelCounters::global().photons_launched.fetch_add(
         12, std::memory_order_relaxed);
+    obs::KernelCounters::global().lane_refills.fetch_add(
+        7, std::memory_order_relaxed);
+    obs::KernelCounters::global().packet_occupancy[8].fetch_add(
+        3, std::memory_order_relaxed);
     obs::Snapshot after;
     obs::append_kernel_counters(after);
     EXPECT_EQ(after.counter_value("mc_kernel_photons_launched_total"), 12u);
+    EXPECT_EQ(after.counter_value("mc_kernel_lane_refills_total"), 7u);
+    const auto occ = std::find_if(
+        after.samples.begin(), after.samples.end(), [](const auto& s) {
+          return s.name == "mc_kernel_packet_occupancy";
+        });
+    ASSERT_NE(occ, after.samples.end());
+    EXPECT_EQ(occ->observations, 3u);
     obs::reset_kernel_counters();
 #endif
   } else {

@@ -11,6 +11,12 @@
 #          is SIGKILLed mid-run and restarted; the surviving
 #          multi-threaded worker reconnects and the resumed run must
 #          still match the serial tally bitwise.
+# Phase 3: the whole cluster runs the batched packet loop
+#          (--kernel-mode packet on the server, and explicitly on the
+#          workers). The merged tally must match the server's packet-mode
+#          rerun bitwise AND pass the packet-vs-scalar statistical
+#          equivalence check against an independently computed scalar
+#          reference of the same plan.
 #
 # Both phases ask the server for a cluster-wide metrics report
 # (--metrics-json) and cross-check its counters against the configured
@@ -164,6 +170,35 @@ DROPPED2=$(counter_value "$METRICS2" net_frames_dropped_total '"side": "server"'
 [ "$DROPPED2" -eq 0 ] ||
   fail "phase 2: no --drop configured but net_frames_dropped_total{side=server} = $DROPPED2"
 echo "phase 2 metrics: frames dropped = $DROPPED2 (fault-free, as configured)"
+
+echo "== Phase 3: packet-mode cluster, statistical check vs scalar reference =="
+SOCK="$TMP/phase3.sock"
+"$SERVER_BIN" --listen "unix:$SOCK" --photons 60000 --chunk 4000 \
+  --seed 11 --lease 1.0 --kernel-mode packet \
+  >"$TMP/server3.log" 2>&1 &
+SERVER=$!
+wait_for_socket "$SOCK" || fail "phase 3 server never bound $SOCK"
+
+"$WORKER_BIN" --connect "unix:$SOCK" --name smoke-p0 --threads 2 \
+  --kernel-mode packet --reconnect-attempts 5 >"$TMP/p0.log" 2>&1 &
+P0=$!
+"$WORKER_BIN" --connect "unix:$SOCK" --name smoke-p1 \
+  --kernel-mode packet --reconnect-attempts 5 >"$TMP/p1.log" 2>&1 &
+P1=$!
+
+wait "$SERVER"
+SERVER_RC=$?
+[ "$SERVER_RC" -eq 0 ] || fail "phase 3 server exited $SERVER_RC"
+# Packet mode is deterministic in itself: the merged distributed tally
+# must equal the server's packet-mode rerun bit for bit...
+grep -q "bitwise-identical: yes" "$TMP/server3.log" ||
+  fail "phase 3 packet tally did not match the packet-mode rerun bitwise"
+# ...and must sit within the statistical-equivalence envelope of the
+# scalar reference (the physics contract between the two loops).
+grep -q "packet-vs-scalar statistical check: .*PASS" "$TMP/server3.log" ||
+  fail "phase 3 merged packet tally failed the statistical check vs scalar"
+grep "packet-vs-scalar statistical check" "$TMP/server3.log"
+kill "$P0" "$P1" >/dev/null 2>&1
 
 save_artifacts
 echo "cluster_smoke: PASS"

@@ -261,9 +261,23 @@ struct PathScope {
   bool timing_allowlisted = false;  // D1 ::now() sanctuary
 };
 
+// D3 carve-outs inside src/mc/: the batched-packet TUs own their FP
+// environment (scoped relaxed-FP compile flags, documented ulp bounds,
+// their own golden hashes), so the double-only hot-path hygiene rule does
+// not apply there. File-scoped by explicit prefix — nothing else in
+// src/mc/ is exempt. The trailing '.' pins the extension boundary so
+// e.g. src/mc/vmath_tables.cpp would still be D3 territory.
+constexpr const char* kD3ExemptPrefixes[] = {
+    "src/mc/packet_kernel.",
+    "src/mc/vmath.",
+};
+
 PathScope classify(const std::string& path) {
   PathScope s;
   s.in_mc = starts_with(path, "src/mc/");
+  for (const char* prefix : kD3ExemptPrefixes) {
+    if (starts_with(path, prefix)) s.in_mc = false;
+  }
   s.in_wire = starts_with(path, "src/net/") ||
               starts_with(path, "src/dist/message");
   s.ordered_domain = starts_with(path, "src/core/") ||

@@ -10,7 +10,14 @@
 //                   --chunk 5000 [--seed 11] [--lease 2.0] [--drop 0.05]
 //                   [--checkpoint run.ckpt] [--merge-incremental]
 //                   [--verify-threads N] [--no-verify]
+//                   [--kernel-mode {scalar,packet}]
 //                   [--metrics-json PATH] [--trace PATH] [--log-level LEVEL]
+//
+// --kernel-mode selects the photon loop the whole cluster runs (the mode
+// ships inside the spec, so workers follow automatically). In packet mode
+// the verify step also runs a scalar-mode reference of the same plan and
+// prints an assertable "packet-vs-scalar statistical check: ... PASS"
+// line (see mc/packet_kernel.hpp for the criterion).
 //
 // With --metrics-json, the server writes one cluster-wide metrics report
 // at exit: its own registry (scheduling, wire, kernel counters) merged
@@ -37,6 +44,7 @@
 #include "core/merger.hpp"
 #include "dist/runtime.hpp"
 #include "dist/scheduler.hpp"
+#include "mc/packet_kernel.hpp"
 #include "mc/presets.hpp"
 #include "net/server.hpp"
 #include "obs/kernel_counters.hpp"
@@ -53,7 +61,8 @@ namespace {
 /// The walkthrough medium of examples/cluster_throughput.cpp: grey
 /// matter, semi-infinite.
 phodis::core::SimulationSpec make_spec(std::uint64_t photons,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       phodis::mc::KernelMode mode) {
   using namespace phodis;
   core::SimulationSpec spec;
   mc::LayeredMediumBuilder builder;
@@ -61,6 +70,7 @@ phodis::core::SimulationSpec make_spec(std::uint64_t photons,
       "grey matter",
       mc::OpticalProperties::from_reduced(0.036, 2.2, 0.9, 1.4));
   spec.kernel.medium = builder.build();
+  spec.kernel.mode = mode;
   spec.photons = photons;
   spec.seed = seed;
   return spec;
@@ -71,10 +81,11 @@ phodis::core::SimulationSpec make_spec(std::uint64_t photons,
 /// restart with different flags is refused instead of silently merging
 /// a stale run's results.
 std::string plan_fingerprint(std::uint64_t photons, std::uint64_t chunk,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, phodis::mc::KernelMode mode) {
   return "photons=" + std::to_string(photons) +
          " chunk=" + std::to_string(chunk) +
-         " seed=" + std::to_string(seed) + "\n";
+         " seed=" + std::to_string(seed) +
+         " mode=" + phodis::mc::to_string(mode) + "\n";
 }
 
 void write_plan_meta(const std::string& path, const std::string& fingerprint) {
@@ -117,7 +128,9 @@ int main(int argc, char** argv) {
   if (!trace_path.empty()) obs::TraceRecorder::global().enable();
 
   try {
-    const core::MonteCarloApp app(make_spec(photons, seed));
+    const mc::KernelMode mode =
+        mc::parse_kernel_mode(args.get("kernel-mode", "scalar"));
+    const core::MonteCarloApp app(make_spec(photons, seed, mode));
     if (chunk == 0) chunk = dist::suggest_chunk_size(photons, 4);
     const std::vector<dist::TaskRecord> tasks = app.build_tasks(chunk, 1);
 
@@ -131,7 +144,8 @@ int main(int argc, char** argv) {
           });
     }
     const std::string meta_path = checkpoint_path + ".meta";
-    const std::string fingerprint = plan_fingerprint(photons, chunk, seed);
+    const std::string fingerprint =
+        plan_fingerprint(photons, chunk, seed, mode);
     if (!checkpoint_path.empty() &&
         std::filesystem::exists(checkpoint_path)) {
       if (read_plan_meta(meta_path) != fingerprint) {
@@ -265,12 +279,34 @@ int main(int argc, char** argv) {
       return 0;
     }
     // run_parallel(1) is run_serial; more threads must not change a bit.
+    // The rerun reconstructs the kernel from the same spec, so it checks
+    // the distributed result in the SAME kernel mode — packet mode is
+    // deterministic in itself and must merge bitwise-identically too.
     const mc::SimulationTally serial = app.run_parallel(verify_threads, chunk);
     const bool identical = serial.to_bytes() == tally.to_bytes();
     std::cout << "serial cross-check: bitwise-identical: "
               << (identical ? "yes" : "NO") << "\n";
+    bool stat_ok = true;
+    if (mode == mc::KernelMode::kPacket) {
+      // Packet mode additionally proves physics equivalence: an
+      // independent scalar-mode reference of the same plan must agree
+      // within kDefaultStatSigma combined standard errors. The line
+      // below is asserted by tools/cluster_smoke.sh.
+      const core::MonteCarloApp scalar_app(
+          make_spec(photons, seed, mc::KernelMode::kScalar));
+      const mc::SimulationTally reference =
+          scalar_app.run_parallel(verify_threads, chunk);
+      const mc::StatEquivalence eq =
+          mc::statistical_equivalence(reference, tally);
+      stat_ok = eq.pass;
+      std::cout << "packet-vs-scalar statistical check: max_z="
+                << util::format_double(eq.max_z, 2) << " (threshold "
+                << util::format_double(mc::kDefaultStatSigma, 1)
+                << "): " << (eq.pass ? "PASS" : "FAIL") << "\n";
+      if (!eq.pass) std::cout << eq.summary();
+    }
     dump_observability();
-    return identical ? 0 : 1;
+    return identical && stat_ok ? 0 : 1;
   } catch (const std::exception& error) {
     util::log_error() << "phodis_server: " << error.what();
     return 1;

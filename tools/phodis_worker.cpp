@@ -11,7 +11,15 @@
 //                   [--threads 1] [--drop 0.0] [--drop-seed 2006]
 //                   [--death 0.0] [--death-seed 2006]
 //                   [--reconnect-attempts 20]
+//                   [--kernel-mode {auto,scalar,packet}]
 //                   [--metrics-json PATH] [--trace PATH] [--log-level LEVEL]
+//
+// --kernel-mode auto (the default) runs each task in the mode its spec
+// names — the server decides, workers follow. scalar/packet force that
+// loop regardless of the spec: an operator escape hatch (e.g. a host
+// where one loop is known-bad). A forced mode that differs from the
+// server's own produces statistically-equivalent but not bitwise-equal
+// tallies, so the server's bitwise cross-check will rightly flag it.
 //
 // --threads N runs each task's photon shards on an N-thread pool
 // (0 = one per core) so a single worker process saturates a multi-core
@@ -29,7 +37,9 @@
 #include <iostream>
 
 #include "core/app.hpp"
+#include "core/spec.hpp"
 #include "dist/runtime.hpp"
+#include "mc/kernel.hpp"
 #include "net/client.hpp"
 #include "obs/kernel_counters.hpp"
 #include "obs/metrics.hpp"
@@ -67,8 +77,21 @@ int main(int argc, char** argv) {
     options.death_seed =
         static_cast<std::uint64_t>(args.get_int("death-seed", 2006));
     options.send_metrics_snapshot = true;
-    const dist::WorkerLoopOutcome outcome = dist::run_worker_loop(
-        transport, core::Algorithm::executor(threads), options);
+    dist::TaskExecutor executor = core::Algorithm::executor(threads);
+    if (const std::string mode_arg = args.get("kernel-mode", "auto");
+        mode_arg != "auto") {
+      const mc::KernelMode forced = mc::parse_kernel_mode(mode_arg);
+      executor = [inner = std::move(executor), forced](
+                     std::uint64_t task_id,
+                     const std::vector<std::uint8_t>& payload) {
+        core::TaskPayload task = core::TaskPayload::decode(payload);
+        if (task.spec.kernel.mode == forced) return inner(task_id, payload);
+        task.spec.kernel.mode = forced;
+        return inner(task_id, task.encode());
+      };
+    }
+    const dist::WorkerLoopOutcome outcome =
+        dist::run_worker_loop(transport, executor, options);
     std::cout << "phodis_worker " << outcome.final_name << ": executed "
               << outcome.tasks_executed << " tasks, died "
               << outcome.deaths << " times, "
