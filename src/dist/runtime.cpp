@@ -118,56 +118,66 @@ void run_server_loop(Transport& transport, DataManager& manager,
       continue;
     }
     msg_counters[static_cast<std::uint8_t>(msg->type)]->inc();
-    if (msg->type == MessageType::kRequestWork) {
-      seen_workers.insert(msg->sender);
-      Message reply;
-      reply.sender = options.endpoint;
-      if (auto task = manager.lease_next(msg->sender, now)) {
-        reply.type = MessageType::kAssignTask;
-        reply.task_id = task->task_id;
-        reply.payload = std::move(task->payload);
-        leases_issued.inc();
-        if (!ever_leased.insert(task->task_id).second) releases.inc();
-        if (recorder.enabled()) {
-          task_trace_start_s[task->task_id] = recorder.elapsed_s();
+    switch (msg->type) {
+      case MessageType::kRequestWork: {
+        seen_workers.insert(msg->sender);
+        Message reply;
+        reply.sender = options.endpoint;
+        if (auto task = manager.lease_next(msg->sender, now)) {
+          reply.type = MessageType::kAssignTask;
+          reply.task_id = task->task_id;
+          reply.payload = std::move(task->payload);
+          leases_issued.inc();
+          if (!ever_leased.insert(task->task_id).second) releases.inc();
+          if (recorder.enabled()) {
+            task_trace_start_s[task->task_id] = recorder.elapsed_s();
+          }
+        } else {
+          reply.type = manager.all_done() ? MessageType::kShutdown
+                                          : MessageType::kNoWork;
         }
-      } else {
-        reply.type = manager.all_done() ? MessageType::kShutdown
-                                        : MessageType::kNoWork;
+        transport.send(msg->sender, reply);
+        break;
       }
-      transport.send(msg->sender, reply);
-    } else if (msg->type == MessageType::kTaskResult) {
-      const std::uint64_t task_id = msg->task_id;
-      const std::string sender = msg->sender;
-      if (manager.complete(task_id, sender, now, std::move(msg->payload))) {
-        completions.inc();
-        if (recorder.enabled()) {
-          // Server-side span of the task's last lease: from the assign
-          // that won to the first accepted result.
-          const auto it = task_trace_start_s.find(task_id);
-          if (it != task_trace_start_s.end()) {
-            obs::TraceEvent event;
-            event.name = "task";
-            event.category = "dist";
-            event.ts_us = static_cast<std::uint64_t>(it->second * 1e6);
-            const double dur_s = recorder.elapsed_s() - it->second;
-            event.dur_us =
-                dur_s > 0.0 ? static_cast<std::uint64_t>(dur_s * 1e6) : 0;
-            event.tid = obs::TraceRecorder::thread_id();
-            event.args.emplace_back("task_id", std::to_string(task_id));
-            event.args.emplace_back("worker", sender);
-            recorder.record(std::move(event));
+      case MessageType::kTaskResult: {
+        const std::uint64_t task_id = msg->task_id;
+        const std::string sender = msg->sender;
+        if (manager.complete(task_id, sender, now, std::move(msg->payload))) {
+          completions.inc();
+          if (recorder.enabled()) {
+            // Server-side span of the task's last lease: from the assign
+            // that won to the first accepted result.
+            const auto it = task_trace_start_s.find(task_id);
+            if (it != task_trace_start_s.end()) {
+              obs::TraceEvent event;
+              event.name = "task";
+              event.category = "dist";
+              event.ts_us = static_cast<std::uint64_t>(it->second * 1e6);
+              const double dur_s = recorder.elapsed_s() - it->second;
+              event.dur_us =
+                  dur_s > 0.0 ? static_cast<std::uint64_t>(dur_s * 1e6) : 0;
+              event.tid = obs::TraceRecorder::thread_id();
+              event.args.emplace_back("task_id", std::to_string(task_id));
+              event.args.emplace_back("worker", sender);
+              recorder.record(std::move(event));
+            }
+          }
+          task_trace_start_s.erase(task_id);
+          if (!options.checkpoint_path.empty() &&
+              ++completions_since_checkpoint >= options.checkpoint_every) {
+            write_checkpoint();
+            completions_since_checkpoint = 0;
           }
         }
-        task_trace_start_s.erase(task_id);
-        if (!options.checkpoint_path.empty() &&
-            ++completions_since_checkpoint >= options.checkpoint_every) {
-          write_checkpoint();
-          completions_since_checkpoint = 0;
-        }
+        break;
       }
-    } else if (msg->type == MessageType::kMetricsSnapshot) {
-      handle_snapshot(*msg);
+      case MessageType::kMetricsSnapshot:
+        handle_snapshot(*msg);
+        break;
+      case MessageType::kAssignTask:
+      case MessageType::kNoWork:
+      case MessageType::kShutdown:
+        break;  // server->worker kinds echoed back to us; ignore
     }
   }
 
@@ -198,13 +208,22 @@ void run_server_loop(Transport& transport, DataManager& manager,
         continue;
       }
       msg_counters[static_cast<std::uint8_t>(msg->type)]->inc();
-      if (msg->type == MessageType::kMetricsSnapshot) {
-        handle_snapshot(*msg);
-      } else if (msg->type == MessageType::kRequestWork) {
-        Message reply;
-        reply.type = MessageType::kShutdown;
-        reply.sender = options.endpoint;
-        transport.send(msg->sender, reply);
+      switch (msg->type) {
+        case MessageType::kMetricsSnapshot:
+          handle_snapshot(*msg);
+          break;
+        case MessageType::kRequestWork: {
+          Message reply;
+          reply.type = MessageType::kShutdown;
+          reply.sender = options.endpoint;
+          transport.send(msg->sender, reply);
+          break;
+        }
+        case MessageType::kAssignTask:
+        case MessageType::kNoWork:
+        case MessageType::kShutdown:
+        case MessageType::kTaskResult:
+          break;  // too late to matter during the drain; ignore
       }
     }
   }
@@ -289,8 +308,10 @@ WorkerLoopOutcome run_worker_loop(Transport& transport,
           transport.send(options.server_endpoint, metrics_msg);
         }
         return outcome;
-      default:
-        break;  // protocol noise; ignore
+      case MessageType::kRequestWork:
+      case MessageType::kTaskResult:
+      case MessageType::kMetricsSnapshot:
+        break;  // worker->server kinds misrouted to a worker; ignore
     }
   }
   outcome.final_name = name;

@@ -348,6 +348,7 @@ void Kernel::simulate_one_impl(util::Xoshiro256pp& rng,
               left_tissue = true;
             }
           }
+          // phodis-lint: allow(D7) draw is intentionally skipped at total internal reflection — both MCML and our golden hashes pin this exact draw sequence; hoisting it would consume one extra uniform per TIR event and change every tally downstream
         } else if (fr.total_internal || rng.uniform() < fr.reflectance) {
           // Interior interface between two tissue layers. Reflection is
           // sampled probabilistically in both boundary models (a

@@ -458,3 +458,538 @@ TEST(Format, FileLineRuleMessageShape) {
   EXPECT_NE(lint::format_diagnostic(d).find("[suppressed: why]"),
             std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// Project model (D6–D8 substrate)
+// ---------------------------------------------------------------------------
+#include "lint/model.hpp"
+#include "lint/sarif.hpp"
+
+namespace {
+
+/// Unsuppressed diagnostics for `rule` across a multi-file project.
+std::vector<lint::Diagnostic> project_violations(
+    const std::vector<lint::SourceFile>& files, const std::string& rule) {
+  std::vector<lint::Diagnostic> out;
+  for (const auto& d : lint::lint_project(files)) {
+    if (d.rule == rule && !d.suppressed) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<lint::Diagnostic> project_suppressed(
+    const std::vector<lint::SourceFile>& files, const std::string& rule) {
+  std::vector<lint::Diagnostic> out;
+  for (const auto& d : lint::lint_project(files)) {
+    if (d.rule == rule && d.suppressed) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Model, ExtractsFunctionsEnumsSwitchesAndCodecOps) {
+  const auto fm = lint::build_file_model(
+      "src/dist/m.cpp",
+      "enum class Tag : int { kA, kB };\n"
+      "void serialize_task(util::ByteWriter& writer, const Task& t) {\n"
+      "  writer.u32(t.id);\n"
+      "  writer.str(t.name);\n"
+      "}\n"
+      "void dispatch(Tag tag) {\n"
+      "  switch (tag) {\n"
+      "    case Tag::kA:\n"
+      "      break;\n"
+      "    default:\n"
+      "      break;\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(fm.enums.size(), 1u);
+  EXPECT_EQ(fm.enums[0].name, "Tag");
+  EXPECT_EQ(fm.enums[0].enumerators,
+            (std::vector<std::string>{"kA", "kB"}));
+  ASSERT_EQ(fm.functions.size(), 2u);
+  EXPECT_EQ(fm.functions[0].name, "serialize_task");
+  ASSERT_EQ(fm.switches.size(), 1u);
+  EXPECT_EQ(fm.switches[0].enum_name, "Tag");
+  EXPECT_TRUE(fm.switches[0].has_default);
+  ASSERT_EQ(fm.codecs.size(), 1u);
+  EXPECT_TRUE(fm.codecs[0].writer);
+  ASSERT_EQ(fm.codecs[0].ops.size(), 2u);
+  EXPECT_EQ(fm.codecs[0].ops[0].op, "u32");
+  EXPECT_EQ(fm.codecs[0].ops[1].op, "str");
+}
+
+TEST(Model, LintProjectOrderIsIndependentOfInputOrder) {
+  const lint::SourceFile a{"src/net/a.cpp", "void f() { memcpy(p, q, 4); }\n"};
+  const lint::SourceFile b{"src/net/b.cpp", "void g() { memcpy(p, q, 4); }\n"};
+  const auto forward = lint::lint_project({a, b});
+  const auto backward = lint::lint_project({b, a});
+  ASSERT_EQ(forward.size(), backward.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(lint::format_diagnostic(forward[i]),
+              lint::format_diagnostic(backward[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D6: wire-protocol symmetry — codec field sequences
+// ---------------------------------------------------------------------------
+TEST(RuleD6, FiresOnFieldWidthMismatchAcrossFiles) {
+  const auto diags = project_violations(
+      {{"src/dist/writer.cpp",
+        "void serialize_task(util::ByteWriter& writer, const Task& t) {\n"
+        "  writer.u32(t.id);\n"
+        "  writer.str(t.name);\n"
+        "}\n"},
+       {"src/dist/reader.cpp",
+        "Task deserialize_task(util::ByteReader& reader) {\n"
+        "  Task t;\n"
+        "  t.id = reader.u64();\n"
+        "  t.name = reader.str();\n"
+        "  return t;\n"
+        "}\n"}},
+      "D6");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/dist/reader.cpp");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("written as u32"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("read as u64"), std::string::npos);
+}
+
+TEST(RuleD6, FiresWhenDecoderStopsEarly) {
+  const auto diags = project_violations(
+      {{"src/dist/pair.cpp",
+        "void serialize_task(util::ByteWriter& writer, const Task& t) {\n"
+        "  writer.u32(t.id);\n"
+        "  writer.str(t.name);\n"
+        "  writer.f64(t.weight);\n"
+        "}\n"
+        "Task deserialize_task(util::ByteReader& reader) {\n"
+        "  Task t;\n"
+        "  t.id = reader.u32();\n"
+        "  t.name = reader.str();\n"
+        "  return t;\n"
+        "}\n"}},
+      "D6");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 4);  // the unread f64 write
+  EXPECT_NE(diags[0].message.find("stops reading"), std::string::npos);
+}
+
+TEST(RuleD6, CleanOnSymmetricPairWithSubCodecAndLoop) {
+  const auto diags = project_violations(
+      {{"src/dist/state_writer.cpp",
+        "void serialize_state(util::ByteWriter& writer, const State& s) {\n"
+        "  writer.u64(s.items.size());\n"
+        "  for (const auto& item : s.items) {\n"
+        "    serialize_item(writer, item);\n"
+        "  }\n"
+        "  writer.boolean(s.done);\n"
+        "}\n"},
+       {"src/dist/state_reader.cpp",
+        "State deserialize_state(util::ByteReader& reader) {\n"
+        "  State s;\n"
+        "  const std::uint64_t n = reader.u64();\n"
+        "  for (std::uint64_t i = 0; i < n; ++i) {\n"
+        "    s.items.push_back(deserialize_item(reader));\n"
+        "  }\n"
+        "  s.done = reader.boolean();\n"
+        "  return s;\n"
+        "}\n"}},
+      "D6");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD6, U64AndI64AreWidthCompatible) {
+  const auto diags = project_violations(
+      {{"src/dist/ts.cpp",
+        "void serialize_ts(util::ByteWriter& writer, const Ts& t) {\n"
+        "  writer.i64(t.offset_ns);\n"
+        "}\n"
+        "Ts deserialize_ts(util::ByteReader& reader) {\n"
+        "  Ts t;\n"
+        "  t.offset_ns = reader.u64();\n"
+        "  return t;\n"
+        "}\n"}},
+      "D6");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD6, CodecSuppressionCase) {
+  const auto files = std::vector<lint::SourceFile>{
+      {"src/dist/pinned.cpp",
+       "void serialize_v1(util::ByteWriter& writer, const V1& v) {\n"
+       "  writer.u32(v.id);\n"
+       "}\n"
+       "V1 deserialize_v1(util::ByteReader& reader) {\n"
+       "  V1 v;\n"
+       "  // phodis-lint: allow(D6) v0 wire compat shim, reads the old width\n"
+       "  v.id = reader.u8();\n"
+       "  return v;\n"
+       "}\n"}};
+  EXPECT_TRUE(project_violations(files, "D6").empty());
+  const auto sup = project_suppressed(files, "D6");
+  ASSERT_EQ(sup.size(), 1u);
+  EXPECT_EQ(sup[0].suppress_reason, "v0 wire compat shim, reads the old width");
+}
+
+// ---------------------------------------------------------------------------
+// D6: wire-protocol symmetry — exhaustive switches over message-type enums
+// ---------------------------------------------------------------------------
+namespace {
+
+const char* const kFrameKindEnum =
+    "enum class FrameKind : std::uint8_t { kData = 0, kAck = 1, kNack = 2 "
+    "};\n";
+
+}  // namespace
+
+TEST(RuleD6, FiresOnSwitchMissingEnumerator) {
+  const auto diags = violations(
+      "src/net/dispatch.cpp",
+      std::string(kFrameKindEnum) +
+          "void handle(FrameKind kind) {\n"
+          "  switch (kind) {\n"
+          "    case FrameKind::kData:\n"
+          "      break;\n"
+          "    case FrameKind::kAck:\n"
+          "      break;\n"
+          "  }\n"
+          "}\n",
+      "D6");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("kNack"), std::string::npos);
+}
+
+TEST(RuleD6, DefaultBranchDoesNotCountAsCoverage) {
+  const auto diags = violations(
+      "src/net/dispatch.cpp",
+      std::string(kFrameKindEnum) +
+          "void handle(FrameKind kind) {\n"
+          "  switch (kind) {\n"
+          "    case FrameKind::kData:\n"
+          "      break;\n"
+          "    default:\n"
+          "      break;\n"
+          "  }\n"
+          "}\n",
+      "D6");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("default:"), std::string::npos);
+}
+
+TEST(RuleD6, CleanWhenEveryEnumeratorIsNamed) {
+  const auto diags = violations(
+      "src/net/dispatch.cpp",
+      std::string(kFrameKindEnum) +
+          "void handle(FrameKind kind) {\n"
+          "  switch (kind) {\n"
+          "    case FrameKind::kData:\n"
+          "      break;\n"
+          "    case FrameKind::kAck:\n"
+          "    case FrameKind::kNack:\n"
+          "      break;\n"
+          "  }\n"
+          "}\n",
+      "D6");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD6, SwitchRuleOnlyCoversWireLayerEnums) {
+  // Same shape, but the enum lives in src/util: exhaustiveness there is
+  // -Wswitch's job, not the wire-protocol rule's.
+  const auto diags = violations(
+      "src/util/palette.cpp",
+      std::string(kFrameKindEnum) +
+          "void handle(FrameKind kind) {\n"
+          "  switch (kind) {\n"
+          "    case FrameKind::kData:\n"
+          "      break;\n"
+          "  }\n"
+          "}\n",
+      "D6");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD6, SwitchSuppressionCase) {
+  const auto sup = suppressed(
+      "src/net/dispatch.cpp",
+      std::string(kFrameKindEnum) +
+          "void handle(FrameKind kind) {\n"
+          "  // phodis-lint: allow(D6) kNack handled by the caller's retry\n"
+          "  switch (kind) {\n"
+          "    case FrameKind::kData:\n"
+          "      break;\n"
+          "    case FrameKind::kAck:\n"
+          "      break;\n"
+          "  }\n"
+          "}\n",
+      "D6");
+  ASSERT_EQ(sup.size(), 1u);
+  EXPECT_EQ(sup[0].suppress_reason, "kNack handled by the caller's retry");
+}
+
+// ---------------------------------------------------------------------------
+// D7: RNG draw-order discipline in src/mc
+// ---------------------------------------------------------------------------
+TEST(RuleD7, FiresOnDrawInShortCircuitRightOperand) {
+  const auto diags = violations(
+      "src/mc/sample.cpp",
+      "void step(Rng& rng, bool total_internal, double p) {\n"
+      "  if (total_internal || rng.uniform() < p) {\n"
+      "    reflect();\n"
+      "  }\n"
+      "}\n",
+      "D7");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("short-circuit"), std::string::npos);
+}
+
+TEST(RuleD7, FiresOnDrawInTernaryArm) {
+  const auto diags = violations(
+      "src/mc/sample.cpp",
+      "double jitter(Rng& rng, bool wide) {\n"
+      "  return wide ? rng.uniform() : 0.5;\n"
+      "}\n",
+      "D7");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("ternary"), std::string::npos);
+}
+
+TEST(RuleD7, FiresOnTwoDrawsInOneArgumentList) {
+  const auto diags = violations(
+      "src/mc/sample.cpp",
+      "void scatter(Rng& rng) {\n"
+      "  deflect(rng.uniform(), rng.uniform());\n"
+      "}\n",
+      "D7");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("unsequenced"), std::string::npos);
+}
+
+TEST(RuleD7, FiresOnStdRandomDistribution) {
+  const auto diags = violations(
+      "src/mc/sample.cpp",
+      "double gauss(std::mt19937_64& engine) {\n"
+      "  std::normal_distribution<double> dist(0.0, 1.0);\n"
+      "  return dist(engine);\n"
+      "}\n",
+      "D7");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("normal_distribution"), std::string::npos);
+}
+
+TEST(RuleD7, CleanOnSequentialDrawsAndConditionLeftOperand) {
+  const auto diags = violations(
+      "src/mc/sample.cpp",
+      "void step(Rng& rng, double p, bool extra) {\n"
+      "  const double u1 = rng.uniform();\n"
+      "  const double u2 = rng.uniform();\n"
+      "  if (rng.uniform() < p && extra) {\n"
+      "    absorb(u1, u2);\n"
+      "  }\n"
+      "}\n",
+      "D7");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD7, CleanOnBracedInitListDraws) {
+  // Braced init-lists evaluate left to right; source.cpp's Gaussian beam
+  // depends on exactly this pattern staying legal.
+  const auto diags = violations(
+      "src/mc/sample.cpp",
+      "Vec3 beam(Rng& rng, double sigma) {\n"
+      "  return {sigma * rng.normal(), sigma * rng.normal(), 0.0};\n"
+      "}\n",
+      "D7");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD7, OnlyAppliesInsideMc) {
+  const auto diags = violations(
+      "src/dist/retry.cpp",
+      "void maybe(Rng& rng, bool flaky, double p) {\n"
+      "  if (flaky || rng.uniform() < p) {\n"
+      "    retry();\n"
+      "  }\n"
+      "}\n",
+      "D7");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD7, SuppressionCase) {
+  const auto sup = suppressed(
+      "src/mc/sample.cpp",
+      "void step(Rng& rng, bool total_internal, double p) {\n"
+      "  // phodis-lint: allow(D7) draw sequence pinned by golden hashes\n"
+      "  if (total_internal || rng.uniform() < p) {\n"
+      "    reflect();\n"
+      "  }\n"
+      "}\n",
+      "D7");
+  ASSERT_EQ(sup.size(), 1u);
+  EXPECT_EQ(sup[0].suppress_reason, "draw sequence pinned by golden hashes");
+}
+
+// ---------------------------------------------------------------------------
+// D8: lock-order acquisition graph
+// ---------------------------------------------------------------------------
+TEST(RuleD8, FiresOnInconsistentOrderAcrossFiles) {
+  const auto diags = project_violations(
+      {{"src/net/forward.cpp",
+        "void forward_path() {\n"
+        "  std::lock_guard<std::mutex> first(g_route_mutex);\n"
+        "  std::lock_guard<std::mutex> second(g_stats_mutex);\n"
+        "}\n"},
+       {"src/net/reverse.cpp",
+        "void reverse_path() {\n"
+        "  std::lock_guard<std::mutex> first(g_stats_mutex);\n"
+        "  std::lock_guard<std::mutex> second(g_route_mutex);\n"
+        "}\n"}},
+      "D8");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/net/forward.cpp");
+  EXPECT_NE(diags[0].message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("g_route_mutex -> g_stats_mutex"),
+            std::string::npos);
+  EXPECT_NE(diags[0].message.find("g_stats_mutex -> g_route_mutex"),
+            std::string::npos);
+}
+
+TEST(RuleD8, CleanOnConsistentOrderEverywhere) {
+  const auto diags = project_violations(
+      {{"src/net/forward.cpp",
+        "void forward_path() {\n"
+        "  std::lock_guard<std::mutex> first(g_route_mutex);\n"
+        "  std::lock_guard<std::mutex> second(g_stats_mutex);\n"
+        "}\n"},
+       {"src/net/other.cpp",
+        "void other_path() {\n"
+        "  std::lock_guard<std::mutex> first(g_route_mutex);\n"
+        "  std::lock_guard<std::mutex> second(g_stats_mutex);\n"
+        "}\n"}},
+      "D8");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD8, FiresOnInterproceduralCycle) {
+  const auto diags = project_violations(
+      {{"src/net/a.cpp",
+        "void lock_stats() {\n"
+        "  std::lock_guard<std::mutex> guard(g_stats_mutex);\n"
+        "  touch();\n"
+        "}\n"
+        "void forward_path() {\n"
+        "  std::lock_guard<std::mutex> guard(g_route_mutex);\n"
+        "  lock_stats();\n"
+        "}\n"},
+       {"src/net/b.cpp",
+        "void lock_route() {\n"
+        "  std::lock_guard<std::mutex> guard(g_route_mutex);\n"
+        "}\n"
+        "void reverse_path() {\n"
+        "  std::lock_guard<std::mutex> guard(g_stats_mutex);\n"
+        "  lock_route();\n"
+        "}\n"}},
+      "D8");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("g_route_mutex"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("g_stats_mutex"), std::string::npos);
+}
+
+TEST(RuleD8, GuardsInDetachedLambdasDoNotPoisonTheCaller) {
+  // The thread body runs after accept_loop's guard is long gone; treating
+  // it as "called under the lock" is how phantom cycles appear.
+  const auto diags = project_violations(
+      {{"src/net/a.cpp",
+        "void lock_stats() {\n"
+        "  std::lock_guard<std::mutex> guard(g_stats_mutex);\n"
+        "}\n"
+        "void spawn_reader() {\n"
+        "  std::lock_guard<std::mutex> guard(g_route_mutex);\n"
+        "  workers.emplace_back([&] { lock_stats(); });\n"
+        "}\n"},
+       {"src/net/b.cpp",
+        "void reverse_path() {\n"
+        "  std::lock_guard<std::mutex> guard(g_stats_mutex);\n"
+        "  std::lock_guard<std::mutex> inner(g_route_mutex);\n"
+        "}\n"}},
+      "D8");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(RuleD8, SuppressionCase) {
+  const auto files = std::vector<lint::SourceFile>{
+      {"src/net/forward.cpp",
+       "void forward_path() {\n"
+       "  std::lock_guard<std::mutex> first(g_route_mutex);\n"
+       "  // phodis-lint: allow(D8) reverse_path is init-only, never "
+       "concurrent\n"
+       "  std::lock_guard<std::mutex> second(g_stats_mutex);\n"
+       "}\n"},
+      {"src/net/reverse.cpp",
+       "void reverse_path() {\n"
+       "  std::lock_guard<std::mutex> first(g_stats_mutex);\n"
+       "  std::lock_guard<std::mutex> second(g_route_mutex);\n"
+       "}\n"}};
+  EXPECT_TRUE(project_violations(files, "D8").empty());
+  const auto sup = project_suppressed(files, "D8");
+  ASSERT_EQ(sup.size(), 1u);
+  EXPECT_EQ(sup[0].suppress_reason,
+            "reverse_path is init-only, never concurrent");
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+// ---------------------------------------------------------------------------
+TEST(Sarif, ShapeEscapingAndSuppressions) {
+  lint::Diagnostic v;
+  v.file = "src/mc/kernel.cpp";
+  v.line = 42;
+  v.rule = "D7";
+  v.message = "a \"quoted\" message\nwith a newline";
+  lint::Diagnostic s;
+  s.file = "src/net/socket.cpp";
+  s.line = 7;
+  s.rule = "D4";
+  s.message = "memcpy of sockaddr";
+  s.suppressed = true;
+  s.suppress_reason = "kernel API surface";
+  const std::string json = lint::to_sarif({v, s});
+
+  EXPECT_NE(json.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(json.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phodis_lint\""), std::string::npos);
+  for (const char* rule : lint::kAllRules) {
+    EXPECT_NE(json.find("{\"id\": \"" + std::string(rule) + "\""),
+              std::string::npos)
+        << rule;
+  }
+  EXPECT_NE(json.find("\"ruleId\": \"D7\""), std::string::npos);
+  EXPECT_NE(json.find("\"ruleIndex\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"startLine\": 42"), std::string::npos);
+  EXPECT_NE(json.find("%SRCROOT%"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\nwith a newline"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"inSource\""), std::string::npos);
+  EXPECT_NE(json.find("\"justification\": \"kernel API surface\""),
+            std::string::npos);
+  // The unsuppressed result must not carry a suppressions block: count the
+  // blocks, there is exactly one for the one suppressed diagnostic.
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"suppressions\"");
+       pos != std::string::npos;
+       pos = json.find("\"suppressions\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Sarif, EmptyRunIsStillValid) {
+  const std::string json = lint::to_sarif({});
+  EXPECT_NE(json.find("\"results\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"version\": \"2.1.0\""), std::string::npos);
+}

@@ -3,6 +3,10 @@
 #include <cctype>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "lint/model.hpp"
+#include "lint/passes.hpp"
 
 namespace phodis::lint {
 
@@ -144,387 +148,37 @@ LexedFile lex(const std::string& source) {
 }
 
 // ---------------------------------------------------------------------------
-// Pattern helpers (operate on blanked code lines)
+// Project-model rule engine: build every file's model, aggregate, run the
+// per-file and cross-TU passes, then resolve suppressions and pin order.
 // ---------------------------------------------------------------------------
-namespace {
-
-/// Positions where `word` occurs with identifier boundaries on both sides.
-std::vector<std::size_t> find_word(const std::string& line,
-                                   const std::string& word) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = line.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
-    const std::size_t end = pos + word.size();
-    const bool right_ok = end >= line.size() || !is_ident(line[end]);
-    if (left_ok && right_ok) hits.push_back(pos);
-    pos = end;
+std::vector<Diagnostic> lint_project(const std::vector<SourceFile>& files) {
+  std::vector<FileModel> models;
+  models.reserve(files.size());
+  for (const SourceFile& f : files) {
+    models.push_back(build_file_model(f.path, f.source));
   }
-  return hits;
-}
+  const ProjectModel pm = ProjectModel::build(std::move(models));
 
-/// True if `word` occurs as an identifier immediately followed by '('
-/// (optionally with spaces) — a call or macro-call shape.
-bool has_call(const std::string& line, const std::string& word) {
-  for (const std::size_t pos : find_word(line, word)) {
-    std::size_t j = pos + word.size();
-    while (j < line.size() && line[j] == ' ') ++j;
-    if (j < line.size() && line[j] == '(') return true;
+  std::vector<Diagnostic> diags;
+  for (const FileModel& fm : pm.files) {
+    std::vector<Diagnostic> file_diags = run_file_passes(fm);
+    diags.insert(diags.end(),
+                 std::make_move_iterator(file_diags.begin()),
+                 std::make_move_iterator(file_diags.end()));
   }
-  return false;
+  std::vector<Diagnostic> project_diags = run_project_passes(pm);
+  diags.insert(diags.end(),
+               std::make_move_iterator(project_diags.begin()),
+               std::make_move_iterator(project_diags.end()));
+
+  apply_suppressions(diags, pm);
+  sort_diagnostics(diags);
+  return diags;
 }
 
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool contains(const std::string& s, const std::string& needle) {
-  return s.find(needle) != std::string::npos;
-}
-
-/// First non-space character is '#': preprocessor line.
-bool is_preprocessor(const std::string& line) {
-  for (const char c : line) {
-    if (c == ' ' || c == '\t') continue;
-    return c == '#';
-  }
-  return false;
-}
-
-/// A float literal with a '.' or exponent and an f/F suffix (1.0f, .5F,
-/// 2e3f). Integer-f like suffixed user literals won't match.
-bool has_float_literal(const std::string& line) {
-  const std::size_t n = line.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const bool digit = std::isdigit(static_cast<unsigned char>(line[i])) != 0;
-    const bool dot_digit = line[i] == '.' && i + 1 < n &&
-                           std::isdigit(static_cast<unsigned char>(line[i + 1]));
-    if (!digit && !dot_digit) continue;
-    if (i > 0 && (is_ident(line[i - 1]) || line[i - 1] == '.')) continue;
-    std::size_t j = i;
-    bool fractional = false;
-    while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
-    if (j < n && line[j] == '.') {
-      fractional = true;
-      ++j;
-      while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
-    }
-    if (j < n && (line[j] == 'e' || line[j] == 'E')) {
-      std::size_t k = j + 1;
-      if (k < n && (line[k] == '+' || line[k] == '-')) ++k;
-      if (k < n && std::isdigit(static_cast<unsigned char>(line[k]))) {
-        fractional = true;
-        j = k;
-        while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
-      }
-    }
-    if (fractional && j < n && (line[j] == 'f' || line[j] == 'F')) {
-      return true;
-    }
-    i = j;
-  }
-  return false;
-}
-
-/// Variable names declared on this line with an unordered container type:
-/// "std::unordered_map<K, V> name" (template args must close on the line).
-std::vector<std::string> unordered_decl_names(const std::string& line) {
-  std::vector<std::string> names;
-  for (const char* type : {"unordered_map", "unordered_set"}) {
-    for (const std::size_t pos : find_word(line, type)) {
-      std::size_t j = pos + std::string(type).size();
-      if (j >= line.size() || line[j] != '<') continue;
-      int depth = 0;
-      while (j < line.size()) {
-        if (line[j] == '<') ++depth;
-        if (line[j] == '>') {
-          --depth;
-          if (depth == 0) break;
-        }
-        ++j;
-      }
-      if (j >= line.size()) continue;  // args span lines: name unknown
-      ++j;
-      while (j < line.size() && (line[j] == ' ' || line[j] == '&')) ++j;
-      std::string name;
-      while (j < line.size() && is_ident(line[j])) name += line[j++];
-      if (!name.empty()) names.push_back(name);
-    }
-  }
-  return names;
-}
-
-struct PathScope {
-  bool in_mc = false;            // D3 territory
-  bool in_wire = false;          // D4: src/net/ + src/dist/message.*
-  bool ordered_domain = false;   // D2 declaration ban
-  bool timing_allowlisted = false;  // D1 ::now() sanctuary
-};
-
-// D3 carve-outs inside src/mc/: the batched-packet TUs own their FP
-// environment (scoped relaxed-FP compile flags, documented ulp bounds,
-// their own golden hashes), so the double-only hot-path hygiene rule does
-// not apply there. File-scoped by explicit prefix — nothing else in
-// src/mc/ is exempt. The trailing '.' pins the extension boundary so
-// e.g. src/mc/vmath_tables.cpp would still be D3 territory.
-constexpr const char* kD3ExemptPrefixes[] = {
-    "src/mc/packet_kernel.",
-    "src/mc/vmath.",
-};
-
-PathScope classify(const std::string& path) {
-  PathScope s;
-  s.in_mc = starts_with(path, "src/mc/");
-  for (const char* prefix : kD3ExemptPrefixes) {
-    if (starts_with(path, prefix)) s.in_mc = false;
-  }
-  s.in_wire = starts_with(path, "src/net/") ||
-              starts_with(path, "src/dist/message");
-  s.ordered_domain = starts_with(path, "src/core/") ||
-                     starts_with(path, "src/dist/") ||
-                     starts_with(path, "src/mc/");
-  // The one place wall-clock reads are sanctioned: the timing wrapper
-  // everything else (benches, lease expiry, runtime reports) goes through.
-  s.timing_allowlisted = path == "src/util/stopwatch.hpp";
-  return s;
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Rule engine
-// ---------------------------------------------------------------------------
 std::vector<Diagnostic> lint_source(const std::string& path,
                                     const std::string& source) {
-  const LexedFile lexed = lex(source);
-  const PathScope scope = classify(path);
-  std::vector<Diagnostic> diags;
-
-  auto report = [&](int line_index, const char* rule, std::string message) {
-    Diagnostic d;
-    d.file = path;
-    d.line = line_index + 1;
-    d.rule = rule;
-    d.message = std::move(message);
-    diags.push_back(std::move(d));
-  };
-
-  std::vector<std::string> unordered_names;
-
-  // D5 lock tracking: depths of currently-held lock guards, maintained by
-  // a char-level brace walk so a '}' closing the guard's scope releases it.
-  std::vector<int> lock_depths;
-  int depth = 0;
-
-  for (std::size_t li = 0; li < lexed.code.size(); ++li) {
-    const std::string& line = lexed.code[li];
-
-    // --- D1: nondeterministic sources --------------------------------
-    if (!find_word(line, "random_device").empty()) {
-      report(static_cast<int>(li), "D1",
-             "std::random_device is nondeterministic; seeds must come from "
-             "the plan spec (util::Rng streams) so runs replay bitwise");
-    }
-    for (const char* fn : {"rand", "srand", "rand_r", "drand48"}) {
-      if (has_call(line, fn)) {
-        report(static_cast<int>(li), "D1",
-               std::string(fn) +
-                   "() is a hidden global RNG; use util::Rng streams derived "
-                   "from the plan seed");
-      }
-    }
-    if (has_call(line, "time")) {
-      report(static_cast<int>(li), "D1",
-             "time() as input is nondeterministic; timing belongs in "
-             "util::Stopwatch, seeds in the plan spec");
-    }
-    if (!scope.timing_allowlisted && contains(line, "::now(")) {
-      report(static_cast<int>(li), "D1",
-             "clock ::now() outside util/stopwatch.hpp; wall-clock reads go "
-             "through util::Stopwatch and must never feed seeds or results");
-    }
-
-    // --- D2: unordered-container iteration / ordered-domain ban ------
-    for (const std::string& name : unordered_decl_names(line)) {
-      unordered_names.push_back(name);
-    }
-    if (!is_preprocessor(line) &&
-        (!find_word(line, "unordered_map").empty() ||
-         !find_word(line, "unordered_set").empty())) {
-      if (scope.ordered_domain) {
-        report(static_cast<int>(li), "D2",
-               "unordered container in an ordered domain (src/core, "
-               "src/dist, src/mc): tally folds, result merges and frames "
-               "must have a deterministic order — use std::map/std::vector "
-               "or sort explicitly");
-      }
-    }
-    for (const std::string& name : unordered_names) {
-      // ": name" inside a range-for, with an identifier boundary after the
-      // name so container 'm' does not match ': my_vec'.
-      bool range_for = false;
-      if (!find_word(line, "for").empty()) {
-        const std::string needle = ": " + name;
-        std::size_t pos = 0;
-        while ((pos = line.find(needle, pos)) != std::string::npos) {
-          const std::size_t end = pos + needle.size();
-          if (end >= line.size() || !is_ident(line[end])) {
-            range_for = true;
-            break;
-          }
-          pos = end;
-        }
-      }
-      bool begin_call = false;
-      for (const char* suffix : {".begin()", ".cbegin()", "->begin()"}) {
-        const std::string needle = name + suffix;
-        for (const std::size_t pos : find_word(line, name)) {
-          if (line.compare(pos, needle.size(), needle) == 0) {
-            begin_call = true;
-            break;
-          }
-        }
-        if (begin_call) break;
-      }
-      if (range_for || begin_call) {
-        report(static_cast<int>(li), "D2",
-               "iteration over unordered container '" + name +
-                   "': traversal order is implementation-defined and would "
-                   "reorder FP folds / emitted frames — sort keys first or "
-                   "use an ordered container");
-      }
-    }
-
-    // --- D3: hot-path FP hygiene in src/mc/ --------------------------
-    if (scope.in_mc) {
-      if (!find_word(line, "hypot").empty()) {
-        report(static_cast<int>(li), "D3",
-               "std::hypot in the kernel hot path: slower than the pinned "
-               "sqrt(x*x + y*y) form and not part of the golden-hash "
-               "contract — use util::fast_radius");
-      }
-      for (const char* fn : {"powf", "sqrtf", "sinf", "cosf", "expf", "logf",
-                             "fabsf", "atan2f", "fmaf", "tanf"}) {
-        if (has_call(line, fn)) {
-          report(static_cast<int>(li), "D3",
-                 std::string(fn) +
-                     "() computes in float; kernel math stays double with "
-                     "pinned expression order (see util/fastmath.hpp)");
-        }
-      }
-      if (!find_word(line, "float").empty()) {
-        report(static_cast<int>(li), "D3",
-               "float declaration in src/mc/: silent double->float "
-               "truncation changes tallies across compilers — kernel state "
-               "is double");
-      }
-      if (has_float_literal(line)) {
-        report(static_cast<int>(li), "D3",
-               "float literal in src/mc/: promotes expressions through "
-               "float and truncates silently — write the double literal");
-      }
-    }
-
-    // --- D4: wire hygiene in src/net/ + src/dist/message.* -----------
-    if (scope.in_wire) {
-      if (has_call(line, "memcpy")) {
-        report(static_cast<int>(li), "D4",
-               "memcpy in wire code: struct layout and host endianness are "
-               "not a protocol — encode through util::ByteWriter/ByteReader "
-               "or the explicit little-endian helpers in util/bytes.hpp");
-      }
-      if (contains(line, "reinterpret_cast<char*") ||
-          contains(line, "reinterpret_cast<unsigned char*") ||
-          contains(line, "reinterpret_cast<uint8_t*") ||
-          contains(line, "reinterpret_cast<std::uint8_t*")) {
-        report(static_cast<int>(li), "D4",
-               "byte-punning a struct for the wire; encode fields "
-               "explicitly via util/bytes.hpp");
-      }
-    }
-
-    // --- D5: concurrency hygiene -------------------------------------
-    if (contains(line, ".detach()")) {
-      report(static_cast<int>(li), "D5",
-             "std::thread::detach(): detached threads outlive shutdown and "
-             "race teardown — join every thread (exec::ThreadPool does)");
-    }
-    if (!find_word(line, "volatile").empty()) {
-      report(static_cast<int>(li), "D5",
-             "volatile is not synchronisation; use std::atomic (or a "
-             "mutex) for cross-thread flags");
-    }
-
-    // Lock-across-send: walk the line once, tracking brace depth and the
-    // positions where guards appear / sends happen.
-    for (std::size_t ci = 0; ci < line.size(); ++ci) {
-      const char c = line[ci];
-      if (c == '{') ++depth;
-      if (c == '}') {
-        --depth;
-        while (!lock_depths.empty() && lock_depths.back() > depth) {
-          lock_depths.pop_back();
-        }
-      }
-      auto at = [&](const char* token) {
-        return line.compare(ci, std::string(token).size(), token) == 0;
-      };
-      if (at("lock_guard<") || at("scoped_lock<") || at("unique_lock<") ||
-          at("scoped_lock ") || at(".lock()")) {
-        lock_depths.push_back(depth);
-      }
-      if (at(".unlock()") && !lock_depths.empty()) {
-        lock_depths.pop_back();
-      }
-      if ((at("write_frame(") || at("send_all(") || at(".send(") ||
-           at("->send(")) &&
-          !lock_depths.empty()) {
-        report(static_cast<int>(li), "D5",
-               "transport send while holding a mutex: a slow or dead peer "
-               "stalls every thread queued on that lock — copy the frame, "
-               "release, then send");
-      }
-    }
-  }
-
-  // ----- suppression pass -------------------------------------------------
-  auto suppression_for = [&](const Diagnostic& d) -> const std::string* {
-    for (int delta = 0; delta <= 1; ++delta) {
-      const int idx = d.line - 1 - delta;
-      if (idx < 0 || idx >= static_cast<int>(lexed.comments.size())) continue;
-      const std::string& comment = lexed.comments[idx];
-      const std::size_t tag = comment.find("phodis-lint:");
-      if (tag == std::string::npos) continue;
-      const std::size_t open = comment.find("allow(", tag);
-      if (open == std::string::npos) continue;
-      const std::size_t close = comment.find(')', open);
-      if (close == std::string::npos) continue;
-      const std::string rules = comment.substr(open + 6, close - open - 6);
-      std::stringstream ss(rules);
-      std::string rule;
-      while (std::getline(ss, rule, ',')) {
-        std::size_t a = rule.find_first_not_of(' ');
-        std::size_t b = rule.find_last_not_of(' ');
-        if (a == std::string::npos) continue;
-        if (rule.substr(a, b - a + 1) == d.rule) {
-          static thread_local std::string reason;
-          reason = comment.substr(close + 1);
-          const std::size_t r = reason.find_first_not_of(' ');
-          reason = (r == std::string::npos) ? "" : reason.substr(r);
-          return &reason;
-        }
-      }
-    }
-    return nullptr;
-  };
-
-  for (Diagnostic& d : diags) {
-    if (const std::string* reason = suppression_for(d)) {
-      d.suppressed = true;
-      d.suppress_reason = *reason;
-    }
-  }
-  return diags;
+  return lint_project({SourceFile{path, source}});
 }
 
 // ---------------------------------------------------------------------------

@@ -2,9 +2,14 @@
 //
 // The whole platform rests on one contract — tallies are bitwise identical
 // across serial, threaded, and multi-process execution — and the golden-hash
-// tests only prove it *after* a violation lands. This linter enforces, per
-// source file and with no compiler dependency, the handful of statically
-// checkable rules that contract implies:
+// tests only prove it *after* a violation lands. This linter enforces,
+// with no compiler dependency, the statically checkable rules that
+// contract implies. Since PR 10 the engine is a **project-model analysis**:
+// the whole tree is parsed once into per-file token streams plus a
+// lightweight cross-file index (function definitions, ByteWriter/ByteReader
+// call sequences, enum switches, mutex acquisition sites), and every rule
+// is a pass over that model — which is what lets D6–D8 check *cross-file*
+// properties a per-file rule loop can never see.
 //
 //   D1  no nondeterministic sources (std::random_device, rand, srand,
 //       time(), std::chrono::*::now()) anywhere a seed or a result could
@@ -25,6 +30,23 @@
 //   D5  concurrency hygiene everywhere: no std::thread::detach(), no
 //       volatile-as-synchronisation, no mutex held across a transport
 //       send / frame write.
+//   D6  wire-protocol symmetry (cross-TU): for every encoder/decoder pair
+//       matched by naming convention (encode/decode, serialize/deserialize,
+//       checkpoint/restore, same class or same name suffix), the textual
+//       ByteWriter field sequence must mirror the ByteReader sequence in
+//       order and width; and every `switch` over a message-type-style enum
+//       must name every enumerator (a `default:` does not substitute —
+//       that is exactly how a new message type ships half-wired).
+//   D7  RNG draw-order discipline in src/mc/: no draw inside a
+//       short-circuit right operand or a ternary arm, no two draws in one
+//       unsequenced expression (function argument lists, operands of
+//       arithmetic), and no <random> distribution objects (their output is
+//       implementation-defined across standard libraries). Draw-count
+//       divergence is the way new media break the golden hashes.
+//   D8  lock-order discipline (cross-TU): every mutex acquisition is a
+//       node in a project-wide acquisition graph (edges held -> acquired,
+//       propagated through the call graph); cycles are reported. This
+//       complements TSan, which only sees executed interleavings.
 //
 // A diagnostic is suppressed by a comment on the same line or the line
 // directly above:
@@ -44,7 +66,11 @@
 
 namespace phodis::lint {
 
-/// One finding. `rule` is "D1".."D5"; `suppressed` marks a finding covered
+/// Every rule the engine knows, in report order.
+inline constexpr const char* kAllRules[] = {"D1", "D2", "D3", "D4",
+                                            "D5", "D6", "D7", "D8"};
+
+/// One finding. `rule` is "D1".."D8"; `suppressed` marks a finding covered
 /// by a phodis-lint: allow(...) comment (counted, not fatal).
 struct Diagnostic {
   std::string file;
@@ -69,9 +95,22 @@ struct LexedFile {
 /// escapes, and raw strings R"delim(...)delim".
 LexedFile lex(const std::string& source);
 
-/// Lint one file's contents. `path` is the repo-relative path (forward
-/// slashes) and drives the path-scoped rules (D3 in src/mc/, D4 in
-/// src/net/ + src/dist/message.*, D1 timing allowlist).
+/// One source file handed to the project linter. `path` is repo-relative
+/// with forward slashes and drives the path-scoped rules.
+struct SourceFile {
+  std::string path;
+  std::string source;
+};
+
+/// Lint a whole project: build the project model (one parse per file plus
+/// the cross-file index) and run every pass, D1–D8, including the
+/// cross-TU rules. Diagnostics are sorted by (file, line, rule, message)
+/// so output order is deterministic.
+std::vector<Diagnostic> lint_project(const std::vector<SourceFile>& files);
+
+/// Lint one file's contents: a single-file project. Cross-TU rules still
+/// run (an encoder/decoder pair in one TU is checked); they simply see a
+/// one-file model.
 std::vector<Diagnostic> lint_source(const std::string& path,
                                     const std::string& source);
 

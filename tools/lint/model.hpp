@@ -1,0 +1,163 @@
+// The project model: what the cross-TU rules (D6–D8) see.
+//
+// `build_file_model` turns one lexed file into a token stream plus the
+// structural facts a pass needs — function definitions (with token ranges),
+// enum definitions, switch sites, ByteWriter/ByteReader call sequences in
+// codec-named functions, and per-function mutex acquisition info. All of
+// that is per-file and embarrassingly parallel; `ProjectModel::build` then
+// stitches the files into the cross-file index (codec pairing happens in
+// the D6 pass; the interprocedural lock-acquisition graph is built here
+// because it needs a call-graph fixpoint over every file at once).
+//
+// The model is deliberately token-level, not an AST: it only has to be
+// right about the constructs this codebase's style produces (out-of-line
+// `Type Class::method(...)` definitions, enum class, brace-scoped guards),
+// and a token walk that is conservative about what it claims keeps the
+// false-positive rate at zero on the real tree — the property the whole
+// suppression-ratchet workflow depends on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace phodis::lint {
+
+/// One lexical token from the blanked code. String/char literals survive
+/// as the punctuation tokens `""` / `''` (contents were blanked by lex()).
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based source line
+};
+
+/// Tokenize blanked code. Identifiers, pp-numbers (1e-3, 0x1p2), and
+/// punctuation; only `::`, `->`, `&&`, `||` are merged into two-char
+/// tokens (notably NOT `>>`, so nested template closes stay two tokens).
+/// Preprocessor lines (and their backslash continuations) are skipped so
+/// macro bodies cannot unbalance the structural walk.
+std::vector<Token> tokenize(const LexedFile& lexed);
+
+/// A function definition found in the token stream.
+struct FunctionInfo {
+  std::string name;       // unqualified
+  std::string qualifier;  // `X` in `X::name`, or enclosing class; "" if free
+  int line = 0;           // line of the name token
+  std::size_t sig_begin = 0;   // token index of the name
+  std::size_t body_begin = 0;  // token index of the body '{'
+  std::size_t body_end = 0;    // token index of the matching '}'
+};
+
+/// An enum definition (enum or enum class), possibly anonymous.
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> enumerators;
+  std::string file;
+  int line = 0;
+};
+
+/// A `switch` whose case labels name enumerators as `Enum::kValue`.
+/// Sites whose labels are numbers/chars or mix enums are not recorded.
+struct SwitchSite {
+  std::string file;
+  int line = 0;
+  std::string enum_name;           // simple name from the case labels
+  std::vector<std::string> cases;  // enumerators the labels name
+  bool has_default = false;
+};
+
+/// One ByteWriter/ByteReader call in a codec function, in source order.
+/// `op` is the member name (u8, u32, u64, i64, f64, boolean, str, blob,
+/// f64_vec) or "sub" for a nested codec call that passes the writer/reader.
+struct CodecOp {
+  std::string op;
+  int line = 0;
+};
+
+/// A codec-named function: name is a codec verb (serialize/encode/
+/// checkpoint and their read-side mirrors) or verb_<suffix>. `key` is the
+/// pairing key — "qualifier|suffix" with `_to_`/`_from_` collapsed so
+/// checkpoint_to_file pairs with restore_from_file.
+struct CodecFn {
+  std::string file;
+  std::string key;
+  bool writer = false;  // encoder side (serialize/encode/checkpoint)
+  std::string display;  // Qualifier::name for diagnostics
+  int line = 0;
+  std::vector<CodecOp> ops;
+};
+
+/// Per-function mutex facts feeding the cross-TU lock graph.
+struct FunctionLockInfo {
+  std::string display;      // Qualifier::name
+  std::string simple_name;  // callee-resolution key
+  std::string qualifier;    // owning class; "" for free functions
+  std::string file;
+  /// Mutex nodes this function acquires directly (guards, .lock()).
+  std::vector<std::string> acquires;
+  /// Direct held->acquired edges observed inside this body.
+  struct Edge {
+    std::string from, to;
+    int line = 0;
+  };
+  std::vector<Edge> edges;
+  /// Call sites (simple callee name + the mutexes held at the call).
+  /// Member calls through a receiver other than `this` are NOT recorded —
+  /// the receiver's type is unknown, and resolving them by simple name is
+  /// what turns `socket_->shutdown_both()` into a phantom edge through
+  /// `Client::shutdown`. Lambda bodies are skipped too: their calls run
+  /// when the closure is invoked, not under the locks held where it is
+  /// built.
+  struct Call {
+    std::string callee;
+    std::string qualifier;  // `X` in `X::callee(...)`; "" if unqualified
+    std::vector<std::string> held;
+    int line = 0;
+  };
+  std::vector<Call> calls;
+};
+
+/// Everything the passes need from one file. Built independently per file
+/// (safe to build in parallel), then aggregated by ProjectModel::build.
+struct FileModel {
+  std::string path;
+  LexedFile lexed;
+  std::vector<Token> tokens;
+  std::vector<FunctionInfo> functions;
+  std::vector<EnumDef> enums;
+  std::vector<SwitchSite> switches;
+  std::vector<CodecFn> codecs;
+  std::vector<FunctionLockInfo> lock_info;
+};
+
+FileModel build_file_model(const std::string& path, const std::string& source);
+
+/// A held->acquired edge in the project-wide lock graph, with the source
+/// site it was first observed at (edges are deduped on (from, to) keeping
+/// the lexicographically smallest (file, line) so diagnostics — and the
+/// suppression comments that target them — land on a stable line).
+struct LockEdge {
+  std::string from, to;
+  std::string file;
+  int line = 0;
+  std::string function;  // display name of the function with the edge
+};
+
+/// The cross-file index: files sorted by path plus the interprocedural
+/// lock-acquisition graph (direct edges plus held-at-callsite edges into
+/// everything a callee may transitively acquire, resolved by simple name
+/// over the project's own function definitions — conservative by design).
+struct ProjectModel {
+  std::vector<FileModel> files;  // sorted by path
+  std::vector<LockEdge> lock_edges;
+
+  static ProjectModel build(std::vector<FileModel> file_models);
+
+  /// Lookup by exact path; nullptr if absent.
+  const FileModel* file(const std::string& path) const;
+};
+
+}  // namespace phodis::lint

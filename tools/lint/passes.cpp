@@ -1,0 +1,869 @@
+#include "lint/passes.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace phodis::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Line-pattern helpers for D1–D5 (unchanged from the per-file engine)
+// ---------------------------------------------------------------------------
+
+/// Positions where `word` occurs with identifier boundaries on both sides.
+std::vector<std::size_t> find_word(const std::string& line,
+                                   const std::string& word) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = line.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !is_ident(line[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+/// True if `word` occurs as an identifier immediately followed by '('
+/// (optionally with spaces) — a call or macro-call shape.
+bool has_call(const std::string& line, const std::string& word) {
+  for (const std::size_t pos : find_word(line, word)) {
+    std::size_t j = pos + word.size();
+    while (j < line.size() && line[j] == ' ') ++j;
+    if (j < line.size() && line[j] == '(') return true;
+  }
+  return false;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+/// First non-space character is '#': preprocessor line.
+bool is_preprocessor(const std::string& line) {
+  for (const char c : line) {
+    if (c == ' ' || c == '\t') continue;
+    return c == '#';
+  }
+  return false;
+}
+
+/// A float literal with a '.' or exponent and an f/F suffix (1.0f, .5F,
+/// 2e3f). Integer-f like suffixed user literals won't match.
+bool has_float_literal(const std::string& line) {
+  const std::size_t n = line.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool digit = std::isdigit(static_cast<unsigned char>(line[i])) != 0;
+    const bool dot_digit = line[i] == '.' && i + 1 < n &&
+                           std::isdigit(static_cast<unsigned char>(line[i + 1]));
+    if (!digit && !dot_digit) continue;
+    if (i > 0 && (is_ident(line[i - 1]) || line[i - 1] == '.')) continue;
+    std::size_t j = i;
+    bool fractional = false;
+    while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
+    if (j < n && line[j] == '.') {
+      fractional = true;
+      ++j;
+      while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
+    }
+    if (j < n && (line[j] == 'e' || line[j] == 'E')) {
+      std::size_t k = j + 1;
+      if (k < n && (line[k] == '+' || line[k] == '-')) ++k;
+      if (k < n && std::isdigit(static_cast<unsigned char>(line[k]))) {
+        fractional = true;
+        j = k;
+        while (j < n && std::isdigit(static_cast<unsigned char>(line[j]))) ++j;
+      }
+    }
+    if (fractional && j < n && (line[j] == 'f' || line[j] == 'F')) {
+      return true;
+    }
+    i = j;
+  }
+  return false;
+}
+
+/// Variable names declared on this line with an unordered container type:
+/// "std::unordered_map<K, V> name" (template args must close on the line).
+std::vector<std::string> unordered_decl_names(const std::string& line) {
+  std::vector<std::string> names;
+  for (const char* type : {"unordered_map", "unordered_set"}) {
+    for (const std::size_t pos : find_word(line, type)) {
+      std::size_t j = pos + std::string(type).size();
+      if (j >= line.size() || line[j] != '<') continue;
+      int depth = 0;
+      while (j < line.size()) {
+        if (line[j] == '<') ++depth;
+        if (line[j] == '>') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++j;
+      }
+      if (j >= line.size()) continue;  // args span lines: name unknown
+      ++j;
+      while (j < line.size() && (line[j] == ' ' || line[j] == '&')) ++j;
+      std::string name;
+      while (j < line.size() && is_ident(line[j])) name += line[j++];
+      if (!name.empty()) names.push_back(name);
+    }
+  }
+  return names;
+}
+
+struct PathScope {
+  bool in_mc = false;              // D3 territory
+  bool in_mc_rng = false;          // D7 territory (no packet/vmath carve-out)
+  bool in_wire = false;            // D4: src/net/ + src/dist/message.*
+  bool ordered_domain = false;     // D2 declaration ban
+  bool timing_allowlisted = false; // D1 ::now() sanctuary
+};
+
+// D3 carve-outs inside src/mc/: the batched-packet TUs own their FP
+// environment (scoped relaxed-FP compile flags, documented ulp bounds,
+// their own golden hashes), so the double-only hot-path hygiene rule does
+// not apply there. File-scoped by explicit prefix — nothing else in
+// src/mc/ is exempt. The trailing '.' pins the extension boundary so
+// e.g. src/mc/vmath_tables.cpp would still be D3 territory.
+// D7 draw-order discipline has NO such carve-out: the packet kernel's
+// per-lane draw sequence is exactly as pinned as the scalar loop's.
+constexpr const char* kD3ExemptPrefixes[] = {
+    "src/mc/packet_kernel.",
+    "src/mc/vmath.",
+};
+
+PathScope classify(const std::string& path) {
+  PathScope s;
+  s.in_mc = starts_with(path, "src/mc/");
+  s.in_mc_rng = s.in_mc;
+  for (const char* prefix : kD3ExemptPrefixes) {
+    if (starts_with(path, prefix)) s.in_mc = false;
+  }
+  s.in_wire = starts_with(path, "src/net/") ||
+              starts_with(path, "src/dist/message");
+  s.ordered_domain = starts_with(path, "src/core/") ||
+                     starts_with(path, "src/dist/") ||
+                     starts_with(path, "src/mc/");
+  // The one place wall-clock reads are sanctioned: the timing wrapper
+  // everything else (benches, lease expiry, runtime reports) goes through.
+  s.timing_allowlisted = path == "src/util/stopwatch.hpp";
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// D1–D5: line-pattern rules (ported unchanged onto the model)
+// ---------------------------------------------------------------------------
+void run_line_rules(const FileModel& fm, const PathScope& scope,
+                    std::vector<Diagnostic>& diags) {
+  const LexedFile& lexed = fm.lexed;
+
+  auto report = [&](int line_index, const char* rule, std::string message) {
+    Diagnostic d;
+    d.file = fm.path;
+    d.line = line_index + 1;
+    d.rule = rule;
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+  };
+
+  std::vector<std::string> unordered_names;
+
+  // D5 lock tracking: depths of currently-held lock guards, maintained by
+  // a char-level brace walk so a '}' closing the guard's scope releases it.
+  std::vector<int> lock_depths;
+  int depth = 0;
+
+  for (std::size_t li = 0; li < lexed.code.size(); ++li) {
+    const std::string& line = lexed.code[li];
+
+    // --- D1: nondeterministic sources --------------------------------
+    if (!find_word(line, "random_device").empty()) {
+      report(static_cast<int>(li), "D1",
+             "std::random_device is nondeterministic; seeds must come from "
+             "the plan spec (util::Rng streams) so runs replay bitwise");
+    }
+    for (const char* fn : {"rand", "srand", "rand_r", "drand48"}) {
+      if (has_call(line, fn)) {
+        report(static_cast<int>(li), "D1",
+               std::string(fn) +
+                   "() is a hidden global RNG; use util::Rng streams derived "
+                   "from the plan seed");
+      }
+    }
+    if (has_call(line, "time")) {
+      report(static_cast<int>(li), "D1",
+             "time() as input is nondeterministic; timing belongs in "
+             "util::Stopwatch, seeds in the plan spec");
+    }
+    if (!scope.timing_allowlisted && contains(line, "::now(")) {
+      report(static_cast<int>(li), "D1",
+             "clock ::now() outside util/stopwatch.hpp; wall-clock reads go "
+             "through util::Stopwatch and must never feed seeds or results");
+    }
+
+    // --- D2: unordered-container iteration / ordered-domain ban ------
+    for (const std::string& name : unordered_decl_names(line)) {
+      unordered_names.push_back(name);
+    }
+    if (!is_preprocessor(line) &&
+        (!find_word(line, "unordered_map").empty() ||
+         !find_word(line, "unordered_set").empty())) {
+      if (scope.ordered_domain) {
+        report(static_cast<int>(li), "D2",
+               "unordered container in an ordered domain (src/core, "
+               "src/dist, src/mc): tally folds, result merges and frames "
+               "must have a deterministic order — use std::map/std::vector "
+               "or sort explicitly");
+      }
+    }
+    for (const std::string& name : unordered_names) {
+      // ": name" inside a range-for, with an identifier boundary after the
+      // name so container 'm' does not match ': my_vec'.
+      bool range_for = false;
+      if (!find_word(line, "for").empty()) {
+        const std::string needle = ": " + name;
+        std::size_t pos = 0;
+        while ((pos = line.find(needle, pos)) != std::string::npos) {
+          const std::size_t end = pos + needle.size();
+          if (end >= line.size() || !is_ident(line[end])) {
+            range_for = true;
+            break;
+          }
+          pos = end;
+        }
+      }
+      bool begin_call = false;
+      for (const char* suffix : {".begin()", ".cbegin()", "->begin()"}) {
+        const std::string needle = name + suffix;
+        for (const std::size_t pos : find_word(line, name)) {
+          if (line.compare(pos, needle.size(), needle) == 0) {
+            begin_call = true;
+            break;
+          }
+        }
+        if (begin_call) break;
+      }
+      if (range_for || begin_call) {
+        report(static_cast<int>(li), "D2",
+               "iteration over unordered container '" + name +
+                   "': traversal order is implementation-defined and would "
+                   "reorder FP folds / emitted frames — sort keys first or "
+                   "use an ordered container");
+      }
+    }
+
+    // --- D3: hot-path FP hygiene in src/mc/ --------------------------
+    if (scope.in_mc) {
+      if (!find_word(line, "hypot").empty()) {
+        report(static_cast<int>(li), "D3",
+               "std::hypot in the kernel hot path: slower than the pinned "
+               "sqrt(x*x + y*y) form and not part of the golden-hash "
+               "contract — use util::fast_radius");
+      }
+      for (const char* fn : {"powf", "sqrtf", "sinf", "cosf", "expf", "logf",
+                             "fabsf", "atan2f", "fmaf", "tanf"}) {
+        if (has_call(line, fn)) {
+          report(static_cast<int>(li), "D3",
+                 std::string(fn) +
+                     "() computes in float; kernel math stays double with "
+                     "pinned expression order (see util/fastmath.hpp)");
+        }
+      }
+      if (!find_word(line, "float").empty()) {
+        report(static_cast<int>(li), "D3",
+               "float declaration in src/mc/: silent double->float "
+               "truncation changes tallies across compilers — kernel state "
+               "is double");
+      }
+      if (has_float_literal(line)) {
+        report(static_cast<int>(li), "D3",
+               "float literal in src/mc/: promotes expressions through "
+               "float and truncates silently — write the double literal");
+      }
+    }
+
+    // --- D4: wire hygiene in src/net/ + src/dist/message.* -----------
+    if (scope.in_wire) {
+      if (has_call(line, "memcpy")) {
+        report(static_cast<int>(li), "D4",
+               "memcpy in wire code: struct layout and host endianness are "
+               "not a protocol — encode through util::ByteWriter/ByteReader "
+               "or the explicit little-endian helpers in util/bytes.hpp");
+      }
+      if (contains(line, "reinterpret_cast<char*") ||
+          contains(line, "reinterpret_cast<unsigned char*") ||
+          contains(line, "reinterpret_cast<uint8_t*") ||
+          contains(line, "reinterpret_cast<std::uint8_t*")) {
+        report(static_cast<int>(li), "D4",
+               "byte-punning a struct for the wire; encode fields "
+               "explicitly via util/bytes.hpp");
+      }
+    }
+
+    // --- D5: concurrency hygiene -------------------------------------
+    if (contains(line, ".detach()")) {
+      report(static_cast<int>(li), "D5",
+             "std::thread::detach(): detached threads outlive shutdown and "
+             "race teardown — join every thread (exec::ThreadPool does)");
+    }
+    if (!find_word(line, "volatile").empty()) {
+      report(static_cast<int>(li), "D5",
+             "volatile is not synchronisation; use std::atomic (or a "
+             "mutex) for cross-thread flags");
+    }
+
+    // Lock-across-send: walk the line once, tracking brace depth and the
+    // positions where guards appear / sends happen.
+    for (std::size_t ci = 0; ci < line.size(); ++ci) {
+      const char c = line[ci];
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        while (!lock_depths.empty() && lock_depths.back() > depth) {
+          lock_depths.pop_back();
+        }
+      }
+      auto at = [&](const char* token) {
+        return line.compare(ci, std::string(token).size(), token) == 0;
+      };
+      if (at("lock_guard<") || at("scoped_lock<") || at("unique_lock<") ||
+          at("scoped_lock ") || at(".lock()")) {
+        lock_depths.push_back(depth);
+      }
+      if (at(".unlock()") && !lock_depths.empty()) {
+        lock_depths.pop_back();
+      }
+      if ((at("write_frame(") || at("send_all(") || at(".send(") ||
+           at("->send(")) &&
+          !lock_depths.empty()) {
+        report(static_cast<int>(li), "D5",
+               "transport send while holding a mutex: a slow or dead peer "
+               "stalls every thread queued on that lock — copy the frame, "
+               "release, then send");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D7: RNG draw-order discipline in src/mc/ (token-level)
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& draw_members() {
+  static const std::set<std::string> m = {"uniform", "uniform_open0",
+                                          "normal"};
+  return m;
+}
+
+const std::set<std::string>& std_distributions() {
+  static const std::set<std::string> d = {
+      "uniform_real_distribution", "uniform_int_distribution",
+      "normal_distribution",       "exponential_distribution",
+      "bernoulli_distribution",    "poisson_distribution",
+      "discrete_distribution",     "generate_canonical"};
+  return d;
+}
+
+void run_d7(const FileModel& fm, std::vector<Diagnostic>& diags) {
+  const std::vector<Token>& t = fm.tokens;
+  const std::size_t n = t.size();
+
+  auto report = [&](int line, std::string message) {
+    Diagnostic d;
+    d.file = fm.path;
+    d.line = line;
+    d.rule = "D7";
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+  };
+
+  // Group structure: parent[i] = token index of the innermost (, [, {
+  // containing token i; open_of[close] = its opener.
+  std::vector<std::size_t> parent(n, kNpos);
+  std::vector<std::size_t> open_of(n, kNpos);
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < n; ++i) {
+      parent[i] = stack.empty() ? kNpos : stack.back();
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") {
+        stack.push_back(i);
+      } else if (s == ")" || s == "]" || s == "}") {
+        if (!stack.empty()) {
+          open_of[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  auto is_draw = [&](std::size_t i) {
+    if (t[i].kind != Token::Kind::kIdent) return false;
+    if (i + 1 >= n || t[i + 1].text != "(") return false;
+    const std::string& s = t[i].text;
+    if (s == "lane_uniform") return true;
+    if (draw_members().count(s) == 0) return false;
+    return i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->");
+  };
+
+  // Is the draw at `site` inside the right operand of && / || or inside a
+  // ternary arm? Scan backward level by level: at each group level, look
+  // left for a sequencing operator before the draw; a complete sibling
+  // (ended by ',') or a statement boundary stops the level; parens/
+  // brackets ascend, braces are sequenced contexts.
+  enum class Conditional { kNone, kShortCircuit, kTernary };
+  auto conditional_context = [&](std::size_t site) {
+    std::size_t cur = site;
+    while (true) {
+      const std::size_t group = parent[cur];
+      std::size_t k = cur;
+      while (k > 0) {
+        --k;
+        if (group != kNpos && k <= group) break;
+        const std::string& s = t[k].text;
+        if ((s == ")" || s == "]" || s == "}")) {
+          if (open_of[k] == kNpos) return Conditional::kNone;  // stray close
+          k = open_of[k];  // skip the complete nested group
+          continue;
+        }
+        if (s == ";" || s == "{" || s == "}") return Conditional::kNone;
+        if (s == ",") break;  // complete sibling before us; check outer
+        if (s == "&&" || s == "||") return Conditional::kShortCircuit;
+        if (s == "?") return Conditional::kTernary;
+      }
+      if (group == kNpos) return Conditional::kNone;
+      if (t[group].text == "{") return Conditional::kNone;  // sequenced
+      cur = group;  // ascend past ( or [
+    }
+  };
+
+  std::vector<std::size_t> draws;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_draw(i)) draws.push_back(i);
+    if (t[i].kind == Token::Kind::kIdent &&
+        std_distributions().count(t[i].text) != 0) {
+      report(t[i].line,
+             "std::" + t[i].text +
+                 " draws an implementation-defined number of engine values "
+                 "(libstdc++ and libc++ disagree); use util::Xoshiro256pp's "
+                 "uniform()/normal() so the draw sequence is portable");
+    }
+  }
+
+  std::set<std::size_t> flagged;
+  for (const std::size_t site : draws) {
+    const Conditional ctx = conditional_context(site);
+    if (ctx == Conditional::kShortCircuit) {
+      flagged.insert(site);
+      report(t[site].line,
+             "RNG draw in a short-circuit right operand: whether this draw "
+             "happens depends on the left-hand side, so the draw count — "
+             "and every tally after it — diverges between paths; hoist the "
+             "draw into its own statement");
+    } else if (ctx == Conditional::kTernary) {
+      flagged.insert(site);
+      report(t[site].line,
+             "RNG draw inside a ternary arm: the draw only happens on one "
+             "branch, which breaks the replayable draw sequence; hoist the "
+             "draw above the ?:");
+    }
+  }
+
+  // Two draws in one unsequenced expression (argument lists, arithmetic
+  // operands). Braced-init-lists sequence left-to-right and are fine.
+  for (std::size_t d = 0; d + 1 < draws.size(); ++d) {
+    const std::size_t a = draws[d];
+    const std::size_t b = draws[d + 1];
+    if (flagged.count(b) != 0) continue;
+    bool boundary = false;
+    for (std::size_t k = a; k < b && !boundary; ++k) {
+      if (t[k].text == ";") boundary = true;
+    }
+    if (boundary) continue;
+
+    // Innermost common group of the two draws.
+    std::set<std::size_t> ancestors;
+    for (std::size_t x = parent[a]; x != kNpos; x = parent[x]) {
+      ancestors.insert(x);
+    }
+    std::size_t common = kNpos;
+    for (std::size_t x = parent[b]; x != kNpos; x = parent[x]) {
+      if (ancestors.count(x) != 0) {
+        common = x;
+        break;
+      }
+    }
+
+    bool sequenced = false;
+    bool comma = false;
+    for (std::size_t k = a + 1; k < b; ++k) {
+      if (parent[k] != common) continue;
+      const std::string& s = t[k].text;
+      if (s == "&&" || s == "||" || s == "?" || s == ":" || s == ";") {
+        sequenced = true;  // handled by the conditional rules above
+        break;
+      }
+      if (s == ",") comma = true;
+    }
+    if (sequenced) continue;
+    if (comma && common != kNpos && t[common].text == "{") {
+      continue;  // braced-init-list: sequenced left-to-right
+    }
+    report(t[b].line,
+           "two RNG draws in one unsequenced expression: argument and "
+           "operand evaluation order is unspecified, so the draw order — "
+           "and the tally — differs across compilers; split into separate "
+           "statements (a braced init-list would also sequence them)");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D6: wire-protocol symmetry
+// ---------------------------------------------------------------------------
+
+bool width_compatible(const std::string& a, const std::string& b) {
+  if (a == b) return true;
+  return (a == "u64" && b == "i64") || (a == "i64" && b == "u64");
+}
+
+void compare_codec_pair(const CodecFn& w, const CodecFn& r,
+                        std::vector<Diagnostic>& diags) {
+  auto report = [&](const std::string& file, int line, std::string message) {
+    Diagnostic d;
+    d.file = file;
+    d.line = line;
+    d.rule = "D6";
+    d.message = std::move(message);
+    diags.push_back(std::move(d));
+  };
+  const std::size_t common = std::min(w.ops.size(), r.ops.size());
+  for (std::size_t k = 0; k < common; ++k) {
+    if (width_compatible(w.ops[k].op, r.ops[k].op)) continue;
+    report(r.file, r.ops[k].line,
+           "wire-protocol asymmetry between " + w.display + " and " +
+               r.display + ": field " + std::to_string(k + 1) +
+               " is written as " + w.ops[k].op + " (" + w.file + ":" +
+               std::to_string(w.ops[k].line) + ") but read as " +
+               r.ops[k].op + " — encoder and decoder must walk the same "
+               "field sequence");
+    return;
+  }
+  if (w.ops.size() > r.ops.size()) {
+    const CodecOp& extra = w.ops[common];
+    report(w.file, extra.line,
+           "wire-protocol asymmetry between " + w.display + " and " +
+               r.display + ": field " + std::to_string(common + 1) +
+               " is written as " + extra.op + " but " + r.display + " (" +
+               r.file + ":" + std::to_string(r.line) +
+               ") stops reading after " + std::to_string(r.ops.size()) +
+               " field(s) — the decoder silently drops trailing fields");
+  } else if (r.ops.size() > w.ops.size()) {
+    const CodecOp& extra = r.ops[common];
+    report(r.file, extra.line,
+           "wire-protocol asymmetry between " + w.display + " and " +
+               r.display + ": field " + std::to_string(common + 1) +
+               " is read as " + extra.op + " but " + w.display + " (" +
+               w.file + ":" + std::to_string(w.line) +
+               ") stops writing after " + std::to_string(w.ops.size()) +
+               " field(s) — the decoder reads past the payload");
+  }
+}
+
+void run_d6(const ProjectModel& pm, std::vector<Diagnostic>& diags) {
+  // --- encoder/decoder field-sequence symmetry -----------------------
+  std::map<std::string, std::vector<const CodecFn*>> by_key;
+  for (const FileModel& fm : pm.files) {
+    for (const CodecFn& c : fm.codecs) by_key[c.key].push_back(&c);
+  }
+  for (const auto& [key, fns] : by_key) {
+    std::vector<const CodecFn*> writers;
+    std::vector<const CodecFn*> readers;
+    for (const CodecFn* c : fns) (c->writer ? writers : readers).push_back(c);
+    for (const CodecFn* w : writers) {
+      // Prefer the reader defined next to the writer; otherwise pair only
+      // when the project has exactly one candidate (ambiguity is skipped,
+      // never guessed).
+      std::vector<const CodecFn*> same_file;
+      for (const CodecFn* r : readers) {
+        if (r->file == w->file) same_file.push_back(r);
+      }
+      const CodecFn* r = nullptr;
+      if (same_file.size() == 1) {
+        r = same_file.front();
+      } else if (same_file.empty() && readers.size() == 1) {
+        r = readers.front();
+      }
+      if (r != nullptr) compare_codec_pair(*w, *r, diags);
+    }
+  }
+
+  // --- exhaustive switches over message-type enums -------------------
+  // Only enums defined in the wire layers (src/dist, src/net) count: a
+  // non-exhaustive switch over MessageType ships a half-wired protocol,
+  // whereas general enum exhaustiveness is the compiler's -Wswitch job.
+  std::map<std::string, std::vector<const EnumDef*>> enums;
+  for (const FileModel& fm : pm.files) {
+    const bool wire_layer = fm.path.rfind("src/dist/", 0) == 0 ||
+                            fm.path.rfind("src/net/", 0) == 0;
+    if (!wire_layer) continue;
+    for (const EnumDef& e : fm.enums) {
+      if (!e.name.empty()) enums[e.name].push_back(&e);
+    }
+  }
+  for (const FileModel& fm : pm.files) {
+    for (const SwitchSite& site : fm.switches) {
+      const auto it = enums.find(site.enum_name);
+      if (it == enums.end()) continue;  // not one of ours (std::, system)
+      // Same simple name may exist in several scopes (two `State` enums):
+      // pick the definition whose enumerators best overlap the labels,
+      // and skip on a tie rather than guess.
+      const std::set<std::string> cases(site.cases.begin(),
+                                        site.cases.end());
+      const EnumDef* def = nullptr;
+      int best_overlap = 0;
+      bool tie = false;
+      for (const EnumDef* candidate : it->second) {
+        int overlap = 0;
+        for (const std::string& e : candidate->enumerators) {
+          if (cases.count(e) != 0) ++overlap;
+        }
+        if (overlap > best_overlap) {
+          def = candidate;
+          best_overlap = overlap;
+          tie = false;
+        } else if (overlap == best_overlap && overlap > 0) {
+          tie = true;
+        }
+      }
+      if (def == nullptr || tie) continue;
+      std::string missing;
+      int missing_count = 0;
+      for (const std::string& e : def->enumerators) {
+        if (cases.count(e) != 0) continue;
+        if (!missing.empty()) missing += ", ";
+        missing += e;
+        ++missing_count;
+      }
+      if (missing_count == 0) continue;
+      Diagnostic d;
+      d.file = site.file;
+      d.line = site.line;
+      d.rule = "D6";
+      d.message = "switch over " + site.enum_name + " (" + def->file + ":" +
+                  std::to_string(def->line) + ") does not handle " +
+                  missing +
+                  (site.has_default
+                       ? " — a default: branch hides new message types "
+                         "instead of forcing a decision; name every "
+                         "enumerator"
+                       : " — name every enumerator so the next message "
+                         "type cannot ship half-wired");
+      diags.push_back(std::move(d));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D8: lock-order cycles over the project acquisition graph
+// ---------------------------------------------------------------------------
+void run_d8(const ProjectModel& pm, std::vector<Diagnostic>& diags) {
+  // Index nodes.
+  std::map<std::string, int> index;
+  std::vector<std::string> names;
+  auto node_id = [&](const std::string& name) {
+    const auto it = index.find(name);
+    if (it != index.end()) return it->second;
+    const int id = static_cast<int>(names.size());
+    index[name] = id;
+    names.push_back(name);
+    return id;
+  };
+  std::vector<std::vector<int>> adj;
+  for (const LockEdge& e : pm.lock_edges) {
+    const int from = node_id(e.from);
+    const int to = node_id(e.to);
+    if (static_cast<int>(adj.size()) <= std::max(from, to)) {
+      adj.resize(std::max(from, to) + 1);
+    }
+    adj[from].push_back(to);
+  }
+  const int node_count = static_cast<int>(names.size());
+  adj.resize(node_count);
+
+  // Tarjan strongly connected components (iteration order is by node id,
+  // which is first-appearance order over the already-deterministic edge
+  // list, so components come out in a stable order).
+  std::vector<int> comp(node_count, -1);
+  std::vector<int> low(node_count, 0);
+  std::vector<int> num(node_count, -1);
+  std::vector<int> stack_nodes;
+  std::vector<bool> on_stack(node_count, false);
+  std::vector<std::vector<int>> components;
+  int counter = 0;
+
+  struct Frame {
+    int node = 0;
+    std::size_t next_edge = 0;
+  };
+  for (int start = 0; start < node_count; ++start) {
+    if (num[start] != -1) continue;
+    std::vector<Frame> call_stack{{start, 0}};
+    num[start] = low[start] = counter++;
+    stack_nodes.push_back(start);
+    on_stack[start] = true;
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const int v = frame.node;
+      if (frame.next_edge < adj[v].size()) {
+        const int w = adj[v][frame.next_edge++];
+        if (num[w] == -1) {
+          num[w] = low[w] = counter++;
+          stack_nodes.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], num[w]);
+        }
+        continue;
+      }
+      if (low[v] == num[v]) {
+        std::vector<int> component;
+        while (true) {
+          const int w = stack_nodes.back();
+          stack_nodes.pop_back();
+          on_stack[w] = false;
+          comp[w] = static_cast<int>(components.size());
+          component.push_back(w);
+          if (w == v) break;
+        }
+        components.push_back(std::move(component));
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const int parent = call_stack.back().node;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+
+  for (const std::vector<int>& component : components) {
+    const std::set<int> members(component.begin(), component.end());
+    std::vector<const LockEdge*> internal;
+    bool self_edge = false;
+    for (const LockEdge& e : pm.lock_edges) {
+      const int from = index[e.from];
+      const int to = index[e.to];
+      if (members.count(from) == 0 || members.count(to) == 0) continue;
+      if (comp[from] != comp[to]) continue;
+      internal.push_back(&e);
+      if (from == to) self_edge = true;
+    }
+    if (component.size() < 2 && !self_edge) continue;
+
+    const LockEdge* anchor = internal.front();
+    for (const LockEdge* e : internal) {
+      if (std::tie(e->file, e->line, e->from, e->to) <
+          std::tie(anchor->file, anchor->line, anchor->from, anchor->to)) {
+        anchor = e;
+      }
+    }
+    std::string path;
+    for (const LockEdge* e : internal) {
+      if (!path.empty()) path += "; ";
+      path += e->from + " -> " + e->to + " (" + e->file + ":" +
+              std::to_string(e->line) + " in " + e->function + ")";
+    }
+    Diagnostic d;
+    d.file = anchor->file;
+    d.line = anchor->line;
+    d.rule = "D8";
+    d.message =
+        "lock-order cycle: " + path +
+        " — threads acquiring these mutexes in different orders can "
+        "deadlock; pick one global order (TSan only sees interleavings "
+        "that actually ran, this graph covers all of them)";
+    diags.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+std::vector<Diagnostic> run_file_passes(const FileModel& fm) {
+  std::vector<Diagnostic> diags;
+  const PathScope scope = classify(fm.path);
+  run_line_rules(fm, scope, diags);
+  if (scope.in_mc_rng) run_d7(fm, diags);
+  return diags;
+}
+
+std::vector<Diagnostic> run_project_passes(const ProjectModel& pm) {
+  std::vector<Diagnostic> diags;
+  run_d6(pm, diags);
+  run_d8(pm, diags);
+  return diags;
+}
+
+void apply_suppressions(std::vector<Diagnostic>& diags,
+                        const ProjectModel& pm) {
+  const FileModel* cached = nullptr;
+  for (Diagnostic& d : diags) {
+    if (cached == nullptr || cached->path != d.file) cached = pm.file(d.file);
+    if (cached == nullptr) continue;
+    const std::vector<std::string>& comments = cached->lexed.comments;
+    for (int delta = 0; delta <= 1 && !d.suppressed; ++delta) {
+      const int idx = d.line - 1 - delta;
+      if (idx < 0 || idx >= static_cast<int>(comments.size())) continue;
+      const std::string& comment = comments[idx];
+      const std::size_t tag = comment.find("phodis-lint:");
+      if (tag == std::string::npos) continue;
+      const std::size_t open = comment.find("allow(", tag);
+      if (open == std::string::npos) continue;
+      const std::size_t close = comment.find(')', open);
+      if (close == std::string::npos) continue;
+      const std::string rules = comment.substr(open + 6, close - open - 6);
+      std::stringstream ss(rules);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) {
+        const std::size_t a = rule.find_first_not_of(' ');
+        const std::size_t b = rule.find_last_not_of(' ');
+        if (a == std::string::npos) continue;
+        if (rule.substr(a, b - a + 1) != d.rule) continue;
+        std::string reason = comment.substr(close + 1);
+        const std::size_t r = reason.find_first_not_of(' ');
+        reason = (r == std::string::npos) ? "" : reason.substr(r);
+        d.suppressed = true;
+        d.suppress_reason = std::move(reason);
+        break;
+      }
+    }
+  }
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.file, a.line, a.rule, a.message) <
+                            std::tie(b.file, b.line, b.rule, b.message);
+                   });
+}
+
+}  // namespace phodis::lint

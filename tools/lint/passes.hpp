@@ -1,0 +1,37 @@
+// Rule passes over the project model.
+//
+// `run_file_passes` holds every rule that only needs one file: the
+// line-pattern rules D1–D5 (unchanged from the per-file engine) and the
+// token-level D7 draw-order rule (scoped to src/mc/). `run_project_passes`
+// holds the cross-TU rules: D6 wire-protocol symmetry (codec pairing and
+// enum-switch exhaustiveness across files) and D8 lock-order cycles over
+// the interprocedural acquisition graph.
+//
+// Writing a new pass: build on FileModel (lexed lines + tokens +
+// functions/enums/switches/codecs/lock_info) or ProjectModel (all files +
+// the lock graph), emit Diagnostics, and let apply_suppressions /
+// sort_diagnostics handle the allow() comments and deterministic ordering
+// — passes never deal with suppression themselves.
+#pragma once
+
+#include <vector>
+
+#include "lint/model.hpp"
+
+namespace phodis::lint {
+
+/// D1–D5 and D7 for one file.
+std::vector<Diagnostic> run_file_passes(const FileModel& fm);
+
+/// D6 and D8 across the whole model.
+std::vector<Diagnostic> run_project_passes(const ProjectModel& pm);
+
+/// Mark diagnostics covered by `// phodis-lint: allow(Dn) reason` comments
+/// (same line or the line above, in the diagnostic's own file).
+void apply_suppressions(std::vector<Diagnostic>& diags,
+                        const ProjectModel& pm);
+
+/// Deterministic report order: (file, line, rule, message).
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+}  // namespace phodis::lint

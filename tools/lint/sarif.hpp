@@ -1,0 +1,19 @@
+// SARIF 2.1.0 output: the same diagnostics the text report prints, in the
+// interchange format GitHub code scanning (and most editors) ingest, so
+// lint findings annotate PR diffs instead of hiding in a job log.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace phodis::lint {
+
+/// Render diagnostics (already sorted) as a SARIF 2.1.0 run. Suppressed
+/// findings are included with an inSource suppression carrying the
+/// allow() justification; viewers hide them by default but the record
+/// stays auditable. Output is deterministic for a given diagnostic list.
+std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace phodis::lint

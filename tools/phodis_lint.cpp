@@ -1,26 +1,36 @@
-// phodis_lint CLI: walk the tree, run the determinism rules, report.
+// phodis_lint CLI: walk the tree, build the project model, run the
+// determinism rules, report.
 //
 //   phodis_lint --root . [--stats] [--baseline tools/lint_baseline.txt]
-//               [--list-suppressions] [paths...]
+//               [--list-suppressions] [--sarif FILE] [--jobs N] [paths...]
 //
-// Default paths are src tools bench (relative to --root). Output is
-// file:line: rule: message, sorted by path then line — the tool's own
-// output order is deterministic for the same reason the code it checks
-// must be. Exit 1 on any unsuppressed violation or a broken ratchet,
-// 2 on usage/IO errors.
+// Default paths are src tools bench (relative to --root). Per-file model
+// building and the per-file passes (D1–D5, D7) run on an exec::ThreadPool;
+// the cross-TU passes (D6, D8) run once over the aggregated model. Output
+// is file:line: rule: message, sorted by path then line regardless of the
+// thread count — the tool's own output order is deterministic for the same
+// reason the code it checks must be. Exit 1 on any unsuppressed violation
+// or a broken ratchet, 2 on usage/IO errors.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exec/threadpool.hpp"
 #include "lint/linter.hpp"
+#include "lint/model.hpp"
+#include "lint/passes.hpp"
+#include "lint/sarif.hpp"
 #include "util/log.hpp"
 
 namespace fs = std::filesystem;
 using phodis::lint::Diagnostic;
+using phodis::lint::FileModel;
+using phodis::lint::ProjectModel;
 using phodis::lint::Stats;
 
 namespace {
@@ -41,7 +51,8 @@ std::string read_file(const fs::path& p) {
 void usage() {
   std::cout
       << "usage: phodis_lint [--root DIR] [--stats] [--baseline FILE]\n"
-         "                   [--list-suppressions] [paths...]\n"
+         "                   [--list-suppressions] [--sarif FILE]\n"
+         "                   [--jobs N] [paths...]\n"
          "  paths default to: src tools bench\n";
 }
 
@@ -52,6 +63,8 @@ int main(int argc, char** argv) {
   bool stats_requested = false;
   bool list_suppressions = false;
   std::string baseline_path;
+  std::string sarif_path;
+  std::size_t jobs = 0;  // 0 = one per core
   std::vector<std::string> roots;
 
   for (int i = 1; i < argc; ++i) {
@@ -64,6 +77,10 @@ int main(int argc, char** argv) {
       list_suppressions = true;
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -111,34 +128,66 @@ int main(int argc, char** argv) {
   rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
                   rel_files.end());
 
-  Stats stats;
-  std::vector<Diagnostic> all;
+  // Build every file's model and run its per-file passes on the pool.
+  // Slots are pre-sized and indexed, so the result is identical at any
+  // thread count; the final sort pins the report order either way.
+  if (jobs == 0) jobs = phodis::exec::ThreadPool::default_thread_count();
+  std::vector<FileModel> models(rel_files.size());
+  std::vector<std::vector<Diagnostic>> file_diags(rel_files.size());
+  std::string io_error;
   try {
-    for (const auto& [rel, abs] : rel_files) {
-      ++stats.files_scanned;
-      for (Diagnostic& d : phodis::lint::lint_source(rel, read_file(abs))) {
-        stats.add(d);
-        all.push_back(std::move(d));
-      }
-    }
+    phodis::exec::ThreadPool pool(jobs);
+    pool.parallel_for(
+        rel_files.size(), 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            models[i] = phodis::lint::build_file_model(
+                rel_files[i].first, read_file(rel_files[i].second));
+            file_diags[i] = phodis::lint::run_file_passes(models[i]);
+          }
+        });
   } catch (const std::exception& error) {
     phodis::util::log_error() << "phodis_lint: " << error.what();
     return 2;
   }
 
+  // Cross-TU passes over the aggregated model, then suppression + order.
+  Stats stats;
+  stats.files_scanned = static_cast<int>(rel_files.size());
+  std::vector<Diagnostic> all;
+  for (std::vector<Diagnostic>& d : file_diags) {
+    all.insert(all.end(), std::make_move_iterator(d.begin()),
+               std::make_move_iterator(d.end()));
+  }
+  const ProjectModel pm = ProjectModel::build(std::move(models));
+  std::vector<Diagnostic> project_diags =
+      phodis::lint::run_project_passes(pm);
+  all.insert(all.end(), std::make_move_iterator(project_diags.begin()),
+             std::make_move_iterator(project_diags.end()));
+  phodis::lint::apply_suppressions(all, pm);
+  phodis::lint::sort_diagnostics(all);
+  for (const Diagnostic& d : all) stats.add(d);
+
   for (const Diagnostic& d : all) {
-    if (!d.suppressed) {
-      std::cout << phodis::lint::format_diagnostic(d) << "\n";
-    } else if (list_suppressions) {
+    if (!d.suppressed || list_suppressions) {
       std::cout << phodis::lint::format_diagnostic(d) << "\n";
     }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      phodis::util::log_error()
+          << "phodis_lint: cannot write " << sarif_path;
+      return 2;
+    }
+    out << phodis::lint::to_sarif(all);
   }
 
   if (stats_requested) {
     std::cout << "phodis_lint: scanned " << stats.files_scanned << " files, "
               << stats.total_violations() << " violations, "
               << stats.total_suppressions() << " suppressions\n";
-    for (const char* rule : {"D1", "D2", "D3", "D4", "D5"}) {
+    for (const char* rule : phodis::lint::kAllRules) {
       const auto v = stats.violations.find(rule);
       const auto s = stats.suppressions.find(rule);
       std::cout << "  " << rule << ": "
